@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Ablation benches for the design choices DESIGN.md calls out:
+ *
+ *  1. LLC frame size (flits per frame): padding overhead vs framing
+ *     efficiency under a read-request workload.
+ *  2. Rx credit window: credit starvation when the ingress queue is
+ *     undersized.
+ *  3. Frame error rate: replay cost (go-back-N) on loaded links.
+ *  4. Interleave ratio: sweeping the local:remote page mix between
+ *     pure-disaggregated and pure-local STREAM bandwidth.
+ */
+
+#include <cstdio>
+
+#include "apps/stream.hh"
+#include "common.hh"
+#include "mem/dram.hh"
+
+using namespace tf;
+
+namespace {
+
+constexpr mem::Addr kWindowBase = 0x2000000000ULL;
+constexpr std::uint64_t kWindowSize = 1ULL << 30;
+constexpr std::uint64_t kSection = 1ULL << 24;
+constexpr mem::Addr kDonorBase = 0x100000000ULL;
+
+struct LoadedRun
+{
+    double gibs = 0;
+    std::uint64_t padFlits = 0;
+    std::uint64_t creditStalls = 0;
+    std::uint64_t replays = 0;
+};
+
+LoadedRun
+runLoaded(flow::FlowParams params, int total = 25000)
+{
+    sim::EventQueue eq;
+    sim::Rng rng{3};
+    mem::BackingStore store;
+    mem::Dram dram("donorDram", eq, mem::DramParams{}, &store);
+    ocapi::PasidRegistry pasids;
+    flow::Datapath dp("dp", eq, params,
+                      ocapi::M1Window{kWindowBase, kWindowSize},
+                      pasids, dram, rng, kSection);
+    ocapi::Pasid pasid = pasids.allocate();
+    pasids.registerRegion(pasid, kDonorBase, kWindowSize);
+    dp.stealing().setPasid(pasid);
+    dp.attach(0, kDonorBase, 1, {0});
+
+    int issued = 0;
+    std::function<void()> one = [&]() {
+        if (issued >= total)
+            return;
+        auto txn = mem::makeTxn(
+            mem::TxnType::ReadReq,
+            kWindowBase +
+                (static_cast<mem::Addr>(issued) * 128) % kSection);
+        ++issued;
+        txn->onComplete = [&](mem::MemTxn &) { one(); };
+        dp.issue(txn);
+    };
+    for (int i = 0; i < 192; ++i)
+        one();
+    eq.run();
+
+    LoadedRun r;
+    r.gibs = static_cast<double>(total) * 128 /
+             (1024.0 * 1024 * 1024) / sim::toSec(eq.now());
+    r.padFlits = dp.channel(0).txA().padFlitsSent() +
+                 dp.channel(0).txB().padFlitsSent();
+    r.creditStalls = dp.channel(0).txA().creditStalls() +
+                     dp.channel(0).txB().creditStalls();
+    r.replays = dp.channel(0).txA().replayedFrames() +
+                dp.channel(0).txB().replayedFrames();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation 1: LLC frame size (read stream) ===\n");
+    std::printf("%-12s %10s %12s\n", "frameFlits", "GiB/s",
+                "padFlits");
+    for (std::uint32_t flits : {8u, 16u, 32u, 64u}) {
+        flow::FlowParams p;
+        p.frameFlits = flits;
+        auto r = runLoaded(p);
+        std::printf("%-12u %10.2f %12llu\n", flits, r.gibs,
+                    (unsigned long long)r.padFlits);
+    }
+
+    std::printf("\n=== Ablation 2: Rx credit window ===\n");
+    std::printf("%-12s %10s %14s\n", "credits", "GiB/s",
+                "creditStalls");
+    for (std::uint32_t credits : {2u, 4u, 8u, 16u, 64u}) {
+        flow::FlowParams p;
+        p.rxQueueFrames = credits;
+        p.replayBufferFrames = std::max(credits * 4, 64u);
+        auto r = runLoaded(p);
+        std::printf("%-12u %10.2f %14llu\n", credits, r.gibs,
+                    (unsigned long long)r.creditStalls);
+    }
+
+    std::printf("\n=== Ablation 3: frame error rate (replay) ===\n");
+    std::printf("%-12s %10s %10s\n", "errorRate", "GiB/s",
+                "replays");
+    for (double err : {0.0, 0.001, 0.01, 0.05}) {
+        flow::FlowParams p;
+        p.frameErrorRate = err;
+        p.ackTimeout = sim::microseconds(10);
+        auto r = runLoaded(p, 15000);
+        std::printf("%-12g %10.2f %10llu\n", err, r.gibs,
+                    (unsigned long long)r.replays);
+    }
+
+    std::printf("\n=== Ablation 4: page interleave ratio "
+                "(STREAM copy, 8 threads) ===\n");
+    std::printf("%-20s %10s\n", "local:remote", "GiB/s");
+    for (int local_share : {0, 1, 2, 3}) {
+        // Build interleave node lists like 0:1 (pure remote),
+        // 1:1, 2:1, 3:1 local:remote pages.
+        auto bed = bench::makeBed(sys::Setup::SingleDisaggregated,
+                                  256ULL * 1024 * 1024,
+                                  4ULL * 1024 * 1024);
+        auto &tb = *bed.testbed;
+        std::vector<os::NodeId> nodes;
+        for (int i = 0; i < local_share; ++i)
+            nodes.push_back(tb.serverA().localNode());
+        nodes.push_back(tb.serverA().tflowNode());
+        apps::StreamParams sp;
+        sp.elements = 1024 * 1024;
+        sp.threads = 8;
+        sp.iterations = 1;
+        apps::StreamBenchmark stream(tb, sp);
+        // Override the policy by rebuilding through a custom space:
+        // the benchmark object uses the testbed policy, so emulate
+        // the ratio with the interleave node list instead.
+        (void)stream;
+        sim::EventQueue &eq = *bed.eq;
+        os::AddressSpace space(
+            tb.serverA().mm(), tb.serverA().localNode(),
+            os::AllocPolicy::interleave(nodes));
+        sys::MemoryPath path(tb.serverA());
+        mem::Addr a = space.mmap(sp.elements * 8);
+        mem::Addr c = space.mmap(sp.elements * 8);
+        std::uint64_t lines = sp.elements * 8 / 128;
+        std::uint64_t per_thread = lines / 8;
+        sim::Tick start = eq.now();
+        auto next = std::make_shared<
+            std::function<void(std::uint64_t, std::uint64_t)>>();
+        *next = [&, next](std::uint64_t cur, std::uint64_t end) {
+            if (cur >= end)
+                return;
+            std::uint64_t chunk = std::min<std::uint64_t>(64, end - cur);
+            std::vector<sys::Access> acc;
+            for (std::uint64_t i = 0; i < chunk; ++i) {
+                acc.push_back(sys::Access{a + (cur + i) * 128, false});
+                acc.push_back(sys::Access{c + (cur + i) * 128, true});
+            }
+            path.burstMixed(space, std::move(acc), 24,
+                            [next, cur, chunk, end]() {
+                                (*next)(cur + chunk, end);
+                            },
+                            true);
+        };
+        for (int t = 0; t < 8; ++t)
+            (*next)(static_cast<std::uint64_t>(t) * per_thread,
+                    static_cast<std::uint64_t>(t + 1) * per_thread);
+        eq.run();
+        double gib = static_cast<double>(sp.elements) * 16 /
+                     (1024.0 * 1024 * 1024) /
+                     sim::toSec(eq.now() - start);
+        std::printf("%d:1 %16.2f\n", local_share, gib);
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 1 reproduction: data-centre utilisation, conventional
+ * ("fixed") vs disaggregated model, driven by a synthetic
+ * ClusterData-like trace.
+ *
+ * Paper values (Section II):
+ *   fragmentation index: fixed CPU 16%, MEM 29.5%;
+ *                        disaggregated CPU 3.86%, MEM 9.2%.
+ *   resources off:       fixed ~1%; disaggregated CPU 8%, MEM 27%.
+ */
+
+#include <cstdio>
+
+#include "dc/simulation.hh"
+
+using namespace tf;
+
+int
+main()
+{
+    // The paper replays the trace against 12555 servers; we run a
+    // 1:10-scale replica (1255 servers / 1255+1255 modules) at the
+    // same offered utilisation -- the fragmentation and resources-off
+    // metrics are per-unit averages and scale-invariant.
+    constexpr std::size_t kModules = 1255;
+
+    dc::TraceParams tp;
+    tp.jobs = 100000;
+    tp.meanInterarrival = sim::milliseconds(2.2);
+    tp.durationMu = std::log(static_cast<double>(sim::seconds(25)));
+    tp.durationSigma = 0.6;
+    tp.cpuMu = std::log(0.05);
+    tp.cpuSigma = 1.0;
+    dc::TraceGenerator gen(tp, /*seed=*/2020);
+    auto trace = gen.generate();
+
+    dc::DataCentreSimulation sim(0.25);
+
+    // Conventional servers behave like the trace's own machines:
+    // production schedulers spread, so nearly every machine is on.
+    dc::FixedModel fixed(kModules,
+                         dc::FixedModel::Placement::LeastLoaded);
+    auto fixed_res = sim.run(fixed, trace);
+
+    dc::DisaggModel disagg(kModules, kModules, 16);
+    auto disagg_res = sim.run(disagg, trace);
+
+    std::printf("=== Fig. 1: data-centre utilisation, %zu jobs over "
+                "%zu servers/modules (1:10 scale) ===\n",
+                trace.size(), kModules);
+    std::printf("%-28s %10s %10s\n", "metric", "fixed", "disagg");
+    std::printf("%-28s %9.2f%% %9.2f%%\n", "fragmentation index CPU",
+                fixed_res.average.cpuFragmentation * 100,
+                disagg_res.average.cpuFragmentation * 100);
+    std::printf("%-28s %9.2f%% %9.2f%%\n", "fragmentation index MEM",
+                fixed_res.average.memFragmentation * 100,
+                disagg_res.average.memFragmentation * 100);
+    std::printf("%-28s %9.2f%% %9.2f%%\n", "resources off CPU",
+                fixed_res.average.cpuOff * 100,
+                disagg_res.average.cpuOff * 100);
+    std::printf("%-28s %9.2f%% %9.2f%%\n", "resources off MEM",
+                fixed_res.average.memOff * 100,
+                disagg_res.average.memOff * 100);
+    std::printf("placed: fixed %llu (rejected %llu), disagg %llu "
+                "(rejected %llu)\n",
+                (unsigned long long)fixed_res.placed,
+                (unsigned long long)fixed.rejected(),
+                (unsigned long long)disagg_res.placed,
+                (unsigned long long)disagg.rejected());
+    std::printf("paper:  frag CPU 16%%/3.86%%, frag MEM 29.5%%/9.2%%; "
+                "off: ~1%%/1%% vs 8%%/27%%\n");
+    return 0;
+}

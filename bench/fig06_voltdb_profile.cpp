@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 6 reproduction: VoltDB profiling across all YCSB workloads
+ * and partition counts, local vs single-disaggregated.
+ *
+ * Reported per point: package IPC (retired instructions per cycle
+ * across the CPU package) and average utilised CPU cores (UCC), plus
+ * the back-end stall fraction the paper quotes in the text (55.5%
+ * local vs 80.9% disaggregated on average).
+ *
+ * Paper shape: for mixed workloads (A, F) IPC grows with partitions
+ * (biggest step 4 -> 16); read-dominated workloads (B, C, D, E) stay
+ * flat. Disaggregated runs show higher UCC and lower IPC.
+ */
+
+#include "apps/voltdb.hh"
+#include "common.hh"
+
+using namespace tf;
+
+int
+main()
+{
+    std::printf("=== Fig. 6: VoltDB IPC / utilised CPU cores "
+                "(YCSB, 2000 client threads) ===\n");
+    std::printf("%-8s %-10s %-22s %8s %8s %10s\n", "workload",
+                "partitions", "config", "IPC", "UCC", "stall%");
+
+    double stall_sum[2] = {0, 0};
+    int stall_n[2] = {0, 0};
+
+    for (auto wl : {apps::YcsbWorkload::A, apps::YcsbWorkload::B,
+                    apps::YcsbWorkload::C, apps::YcsbWorkload::D,
+                    apps::YcsbWorkload::E, apps::YcsbWorkload::F}) {
+        for (int partitions : {4, 16, 32, 64}) {
+            int cfg_idx = 0;
+            for (auto setup : {sys::Setup::Local,
+                               sys::Setup::SingleDisaggregated}) {
+                auto bed = bench::makeBed(setup);
+                apps::VoltDbParams vp;
+                vp.workload = wl;
+                vp.partitions = partitions;
+                vp.totalOps = 25000;
+                if (wl == apps::YcsbWorkload::E)
+                    vp.totalOps = 6000; // scans are ~40x heavier
+                apps::VoltDbBenchmark bench(*bed.testbed, vp);
+                auto r = bench.run();
+                std::printf("%-8s %-10d %-22s %8.2f %8.2f %9.1f%%\n",
+                            apps::ycsbName(wl), partitions,
+                            sys::setupName(setup), r.packageIpc,
+                            r.ucc, r.backendStallFraction * 100);
+                stall_sum[cfg_idx] += r.backendStallFraction;
+                ++stall_n[cfg_idx];
+                ++cfg_idx;
+            }
+        }
+    }
+    std::printf("\naverage back-end stall fraction: local %.1f%%, "
+                "single-disaggregated %.1f%% (paper: 55.5%% vs "
+                "80.9%%)\n",
+                100 * stall_sum[0] / stall_n[0],
+                100 * stall_sum[1] / stall_n[1]);
+    return 0;
+}

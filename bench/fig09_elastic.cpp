@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 9 reproduction: Elasticsearch ESRally "nested" track
+ * throughput for the RNQIHBS / RTQ / RSTQ / MA challenges at 5 and
+ * 32 shards across every experimental setup.
+ *
+ * Paper shape: RTQ benefits from scale-out's extra compute and
+ * scale-out even beats local; ThymesisFlow configs trail
+ * (interleaved -58%, bonding -43%, single -76% vs local at RTQ).
+ * Challenges needing tighter shard synchronisation (RNQIHBS, RSTQ,
+ * MA) degrade when shards scale; for MA all configurations are
+ * close. Approximate absolute scales: RNQIHBS ~75, RTQ ~800,
+ * RSTQ ~125, MA ~1.8K ops/sec.
+ */
+
+#include "apps/elastic.hh"
+#include "common.hh"
+
+using namespace tf;
+
+int
+main()
+{
+    std::printf("=== Fig. 9: ESRally 'nested' track throughput "
+                "(ops/sec) ===\n");
+    std::printf("%-9s %-7s", "challenge", "shards");
+    for (auto setup : bench::allSetups)
+        std::printf(" %22s", sys::setupName(setup));
+    std::printf("\n");
+
+    struct Point
+    {
+        apps::EsChallenge challenge;
+        std::uint64_t ops;
+    };
+    const std::vector<Point> points = {
+        {apps::EsChallenge::RNQIHBS, 30},
+        {apps::EsChallenge::RTQ, 150},
+        {apps::EsChallenge::RSTQ, 50},
+        {apps::EsChallenge::MA, 400},
+    };
+
+    for (const auto &pt : points) {
+        for (int shards : {5, 32}) {
+            std::printf("%-9s %-7d",
+                        apps::esChallengeName(pt.challenge), shards);
+            for (auto setup : bench::allSetups) {
+                auto bed = bench::makeBed(setup,
+                                          768ULL * 1024 * 1024);
+                apps::ElasticParams ep;
+                ep.challenge = pt.challenge;
+                ep.shards = shards;
+                ep.totalOps = pt.ops;
+                apps::ElasticBenchmark bench(*bed.testbed, ep);
+                auto r = bench.run();
+                std::printf(" %22.1f", r.throughputOps);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Data-centre what-if exploration: sweep offered load and compare
+ * the fixed vs disaggregated infrastructure models (the Fig. 1
+ * machinery) at configurable scale.
+ */
+
+#include <cstdio>
+
+#include "dc/simulation.hh"
+
+using namespace tf;
+
+int
+main(int argc, char **argv)
+{
+    std::size_t modules = 600;
+    std::uint64_t jobs = 40000;
+    if (argc > 1)
+        modules = static_cast<std::size_t>(std::stoul(argv[1]));
+    if (argc > 2)
+        jobs = std::stoull(argv[2]);
+
+    std::printf("sweep of offered load, %zu modules, %llu jobs\n",
+                modules, (unsigned long long)jobs);
+    std::printf("%-8s %12s %12s %12s %12s %10s\n", "load",
+                "fixFragCPU", "fixFragMEM", "disFragCPU",
+                "disFragMEM", "disOffMEM");
+
+    for (double load : {0.5, 0.7, 0.9}) {
+        dc::TraceParams tp;
+        tp.jobs = jobs;
+        tp.durationMu =
+            std::log(static_cast<double>(sim::seconds(25)));
+        tp.durationSigma = 0.6;
+        tp.cpuMu = std::log(0.05);
+        // Offered cpu ~= duration/interarrival * meanCpu; solve the
+        // interarrival for the requested utilisation.
+        double mean_dur = 25e12 * std::exp(0.18) * 1.4;
+        double mean_cpu = 0.082;
+        tp.meanInterarrival = static_cast<sim::Tick>(
+            mean_dur * mean_cpu /
+            (load * static_cast<double>(modules)));
+        dc::TraceGenerator gen(tp, 11);
+        auto trace = gen.generate();
+
+        dc::DataCentreSimulation sim(0.25);
+        dc::FixedModel fixed(
+            modules, dc::FixedModel::Placement::LeastLoaded);
+        auto f = sim.run(fixed, trace);
+        dc::DisaggModel disagg(modules, modules, 16);
+        auto d = sim.run(disagg, trace);
+
+        std::printf("%-8.2f %11.2f%% %11.2f%% %11.2f%% %11.2f%% "
+                    "%9.2f%%\n",
+                    load, f.average.cpuFragmentation * 100,
+                    f.average.memFragmentation * 100,
+                    d.average.cpuFragmentation * 100,
+                    d.average.memFragmentation * 100,
+                    d.average.memOff * 100);
+    }
+    return 0;
+}

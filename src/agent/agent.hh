@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Per-host user-space agent (Section IV-B).
+ *
+ * A daemon runs on every host and executes configuration commands from
+ * the orchestration layer. Its role is twofold:
+ *
+ *  - memory-stealing role: allocate and pin cacheline-aligned local
+ *    memory, register the stealing process's PASID with the endpoint
+ *    hardware, and hand the pinned effective addresses back to the
+ *    orchestrator;
+ *  - compute role: program the compute endpoint (RMMU section table +
+ *    routing) for each attached section, then use the Linux memory
+ *    hotplug subsystem to probe and online the new memory into a
+ *    CPU-less NUMA node.
+ *
+ * Agents accept configuration only from a trusted control plane
+ * (token-authenticated), mirroring the paper's security model.
+ */
+
+#ifndef TF_AGENT_AGENT_HH
+#define TF_AGENT_AGENT_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "opencapi/pasid.hh"
+#include "os/memory_manager.hh"
+#include "tflow/datapath.hh"
+
+namespace tf::agent {
+
+/**
+ * One pinned donor-side chunk: a section-sized, physically contiguous
+ * effective-address range.
+ */
+struct DonatedChunk
+{
+    mem::Addr base = 0;
+    std::uint64_t size = 0;
+};
+
+/** The result of a memory-stealing operation. */
+struct Donation
+{
+    std::uint64_t id = 0;
+    ocapi::Pasid pasid = ocapi::invalidPasid;
+    os::NodeId fromNode = os::invalidNode;
+    std::vector<DonatedChunk> chunks;
+
+    std::uint64_t
+    bytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &c : chunks)
+            total += c.size;
+        return total;
+    }
+};
+
+/** A live compute-side attachment of one donation. */
+struct Attachment
+{
+    std::uint64_t id = 0;
+    os::NodeId numaNode = os::invalidNode;
+    mem::NetworkId networkId = mem::invalidNetworkId;
+    std::vector<std::size_t> sectionIndices; ///< RMMU/window sections
+    std::vector<mem::Addr> hotplugBases;     ///< physical bases onlined
+};
+
+class Agent
+{
+  public:
+    /**
+     * @param mm      the host kernel's memory manager.
+     * @param pasids  the host's PASID registry (donor role).
+     * @param token   shared secret with the trusted control plane.
+     */
+    Agent(std::string name, os::MemoryManager &mm,
+          ocapi::PasidRegistry &pasids, std::string token);
+
+    const std::string &name() const { return _name; }
+
+    // ---------------- memory-stealing (donor) role ----------------
+
+    /**
+     * Allocate and pin @p bytes (rounded up to whole sections) of
+     * local memory from @p fromNode, registering the stealing
+     * process's PASID. Returns nullopt when the node lacks free
+     * whole sections or the token is wrong.
+     */
+    std::optional<Donation> stealMemory(const std::string &token,
+                                        std::uint64_t bytes,
+                                        os::NodeId fromNode);
+
+    /** Unpin and free a donation's memory. */
+    bool releaseDonation(const std::string &token,
+                         const Donation &donation);
+
+    // --------------------- compute role ---------------------------
+
+    /**
+     * Attach @p donation through @p datapath: program one RMMU
+     * section per chunk routed over @p channels under a fresh network
+     * id, then hotplug each section into NUMA node @p numaNode.
+     * @pre the datapath's section size equals the kernel's.
+     */
+    std::optional<Attachment> attachMemory(const std::string &token,
+                                           flow::Datapath &datapath,
+                                           const Donation &donation,
+                                           os::NodeId numaNode,
+                                           std::vector<int> channels);
+
+    /**
+     * Detach: offline every hotplugged section (fails if pages are
+     * still in use) and clear the RMMU/routing state.
+     */
+    bool detachMemory(const std::string &token,
+                      flow::Datapath &datapath,
+                      const Attachment &attachment);
+
+    std::uint64_t rejectedCommands() const { return _rejected.value(); }
+
+  private:
+    std::string _name;
+    os::MemoryManager &_mm;
+    ocapi::PasidRegistry &_pasids;
+    std::string _token;
+    std::uint64_t _nextDonationId = 1;
+    std::uint64_t _nextAttachmentId = 1;
+    mem::NetworkId _nextNetworkId = 1;
+    /** Window-section occupancy per datapath the agent configures. */
+    std::map<flow::Datapath *, std::vector<bool>> _sectionsInUse;
+    sim::Counter _rejected;
+
+    bool authorised(const std::string &token);
+    std::optional<std::size_t> reserveSectionIndex(
+        flow::Datapath &datapath);
+};
+
+} // namespace tf::agent
+
+#endif // TF_AGENT_AGENT_HH

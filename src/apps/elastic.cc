@@ -1,0 +1,234 @@
+#include "apps/elastic.hh"
+
+namespace tf::apps {
+
+const char *
+esChallengeName(EsChallenge c)
+{
+    switch (c) {
+      case EsChallenge::RTQ:
+        return "RTQ";
+      case EsChallenge::RNQIHBS:
+        return "RNQIHBS";
+      case EsChallenge::RSTQ:
+        return "RSTQ";
+      case EsChallenge::MA:
+        return "MA";
+    }
+    return "?";
+}
+
+sim::Tick
+ElasticParams::coordinatorCpu(EsChallenge c) const
+{
+    switch (c) {
+      case EsChallenge::RTQ:
+        return sim::microseconds(120);
+      case EsChallenge::RNQIHBS:
+        return sim::microseconds(400);
+      case EsChallenge::RSTQ:
+        return sim::microseconds(250);
+      case EsChallenge::MA:
+        return sim::microseconds(350);
+    }
+    return 0;
+}
+
+sim::Tick
+ElasticParams::shardCpu(EsChallenge c) const
+{
+    switch (c) {
+      case EsChallenge::RTQ:
+        return sim::microseconds(400);
+      case EsChallenge::RNQIHBS:
+        return sim::microseconds(3000);
+      case EsChallenge::RSTQ:
+        return sim::microseconds(1200);
+      case EsChallenge::MA:
+        return sim::microseconds(200);
+    }
+    return 0;
+}
+
+int
+ElasticParams::shardLines(EsChallenge c) const
+{
+    switch (c) {
+      case EsChallenge::RTQ:
+        return 500;  // posting-list traversal
+      case EsChallenge::RNQIHBS:
+        return 2500; // nested docs + child join
+      case EsChallenge::RSTQ:
+        return 1200; // postings + doc-values for sorting
+      case EsChallenge::MA:
+        return 32;   // metadata only
+    }
+    return 0;
+}
+
+int
+ElasticParams::shardMlp(EsChallenge c) const
+{
+    switch (c) {
+      case EsChallenge::RTQ:
+        return 1; // skip-list chasing
+      case EsChallenge::RNQIHBS:
+        return 2;
+      case EsChallenge::RSTQ:
+        return 3; // doc-values are sequential
+      case EsChallenge::MA:
+        return 8;
+    }
+    return 1;
+}
+
+sim::Tick
+ElasticParams::mergeCpuPerShard(EsChallenge c) const
+{
+    switch (c) {
+      case EsChallenge::RTQ:
+        return sim::microseconds(30);
+      case EsChallenge::RNQIHBS:
+        return sim::microseconds(150);
+      case EsChallenge::RSTQ:
+        return sim::microseconds(120); // sort-merge of hits
+      case EsChallenge::MA:
+        return sim::microseconds(20);
+    }
+    return 0;
+}
+
+ElasticBenchmark::ElasticBenchmark(sys::Testbed &testbed,
+                                   ElasticParams params)
+    : _testbed(testbed), _params(params), _rng(params.seed)
+{
+    for (int i = 0; i < _params.shards; ++i) {
+        Shard s;
+        bool on_b = _testbed.scaleOut() && (i % 2 == 1);
+        s.node = on_b ? &_testbed.serverB() : &_testbed.serverA();
+        s.remote = on_b;
+        os::AllocPolicy policy =
+            on_b ? os::AllocPolicy::bind({s.node->localNode()})
+                 : _testbed.serverPolicy();
+        s.space = std::make_unique<os::AddressSpace>(
+            s.node->mm(), s.node->localNode(), policy);
+        s.path = std::make_unique<sys::MemoryPath>(*s.node);
+        s.base = s.space->mmap(_params.shardBytes);
+        _shards.push_back(std::move(s));
+    }
+}
+
+void
+ElasticBenchmark::queryShard(Shard &shard, std::function<void()> done)
+{
+    sys::CpuSet &cpu = shard.remote ? _testbed.cpuB()
+                                    : _testbed.cpuA();
+    sim::Tick work = static_cast<sim::Tick>(_rng.exponential(
+        static_cast<double>(_params.shardCpu(_params.challenge))));
+
+    // Random walk over the shard's index region.
+    int lines = _params.shardLines(_params.challenge);
+    std::vector<mem::Addr> addrs;
+    addrs.reserve(static_cast<std::size_t>(lines));
+    std::uint64_t region_lines =
+        _params.shardBytes / mem::cachelineBytes;
+    std::uint64_t h = _rng.next();
+    for (int i = 0; i < lines; ++i) {
+        addrs.push_back(shard.base +
+                        (h % region_lines) * mem::cachelineBytes);
+        h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+
+    cpu.exec(work, [this, &shard, addrs = std::move(addrs),
+                    done = std::move(done)]() mutable {
+        shard.path->burst(*shard.space, std::move(addrs), false,
+                          _params.shardMlp(_params.challenge),
+                          std::move(done));
+    });
+}
+
+void
+ElasticBenchmark::runQuery(std::function<void()> done)
+{
+    auto &net = _testbed.network();
+
+    // Coordinator parse/plan, then scatter to every shard.
+    _testbed.cpuA().exec(
+        _params.coordinatorCpu(_params.challenge),
+        [this, &net, done = std::move(done)]() mutable {
+        auto pending =
+            std::make_shared<int>(static_cast<int>(_shards.size()));
+        auto gathered = [this, done = std::move(done)]() mutable {
+            // Merge phase: cost grows with the shard count -- the
+            // synchronisation the paper blames for shard-scaling
+            // degradation.
+            sim::Tick merge =
+                _params.mergeCpuPerShard(_params.challenge) *
+                static_cast<sim::Tick>(_shards.size());
+            _testbed.cpuA().exec(merge, std::move(done));
+        };
+        auto barrier = std::make_shared<std::function<void()>>(
+            [pending, gathered = std::move(gathered)]() mutable {
+                if (--*pending == 0)
+                    gathered();
+            });
+
+        for (Shard &shard : _shards) {
+            if (!shard.remote) {
+                queryShard(shard, [barrier]() { (*barrier)(); });
+                continue;
+            }
+            // Remote shard: request and per-shard results cross the
+            // inter-server network.
+            net.send("serverA", "serverB", 512,
+                     [this, &shard, &net, barrier]() {
+                queryShard(shard, [&net, barrier]() {
+                    net.send("serverB", "serverA", 4096,
+                             [barrier]() { (*barrier)(); });
+                });
+            });
+        }
+    });
+}
+
+ElasticResult
+ElasticBenchmark::run()
+{
+    auto &eq = _testbed.serverA().dram().eventQueue();
+    auto &net = _testbed.network();
+    ElasticResult result;
+    sim::Tick start = eq.now();
+
+    auto issued = std::make_shared<std::uint64_t>(0);
+    auto issue = std::make_shared<std::function<void()>>();
+    *issue = [this, issued, issue, &eq, &net, &result]() {
+        if (*issued >= _params.totalOps)
+            return;
+        ++*issued;
+        sim::Tick sent = eq.now();
+        net.send("client", "serverA", 640, [this, sent, issue, &eq,
+                                            &net, &result]() {
+            runQuery([this, sent, issue, &eq, &net, &result]() {
+                net.send("serverA", "client", 8192,
+                         [sent, issue, &eq, &result]() {
+                             result.latencyUs.add(
+                                 sim::toUs(eq.now() - sent));
+                             (*issue)();
+                         });
+            });
+        });
+    };
+    int concurrency = std::min<int>(
+        _params.clients, static_cast<int>(_params.totalOps));
+    for (int c = 0; c < concurrency; ++c)
+        (*issue)();
+    eq.run();
+
+    result.elapsed = eq.now() - start;
+    result.throughputOps =
+        static_cast<double>(result.latencyUs.count()) /
+        sim::toSec(result.elapsed);
+    return result;
+}
+
+} // namespace tf::apps

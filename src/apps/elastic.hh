@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Data analytics: Elasticsearch-like sharded search engine driven by
+ * an ESRally-style "nested" track (Section VI-F).
+ *
+ * An index is subdivided into shards, each a fully functional
+ * independent index region. A query enters a coordinating node,
+ * fans out to every shard (a task on the node's hardware threads
+ * that combines CPU work with a posting-list/doc-values memory
+ * walk), synchronises on a gather barrier, pays a merge cost that
+ * grows with the shard count, and returns to the client.
+ *
+ * Challenges reproduce the four the paper reports from the "nested"
+ * track (StackOverflow dump):
+ *   RTQ      random tag query           - per-shard CPU-heavy;
+ *   RNQIHBS  nested query, >=100 answers before a random date
+ *                                       - heaviest, sync-dominated;
+ *   RSTQ     sorted tag query           - gather/sort at coordinator;
+ *   MA       match-all                  - cheap, coordinator-bound.
+ *
+ * In scale-out the shards are split over both servers (double the
+ * hardware threads) at the price of a network hop per remote shard.
+ */
+
+#ifndef TF_APPS_ELASTIC_HH
+#define TF_APPS_ELASTIC_HH
+
+#include <memory>
+#include <vector>
+
+#include "system/cpuset.hh"
+#include "system/memory_path.hh"
+#include "system/testbed.hh"
+
+namespace tf::apps {
+
+enum class EsChallenge { RTQ, RNQIHBS, RSTQ, MA };
+
+const char *esChallengeName(EsChallenge c);
+
+struct ElasticParams
+{
+    int shards = 5;
+    EsChallenge challenge = EsChallenge::RTQ;
+    /** Per-shard index region (posting lists + doc values). */
+    std::uint64_t shardBytes = 16ULL * 1024 * 1024;
+    /** ESRally search clients (closed loop). */
+    int clients = 32;
+    std::uint64_t totalOps = 1500;
+    std::uint64_t seed = 13;
+
+    // Per-challenge base costs (tuned against the paper's absolute
+    // throughput scales; see EXPERIMENTS.md).
+    sim::Tick coordinatorCpu(EsChallenge c) const;
+    sim::Tick shardCpu(EsChallenge c) const;
+    /** Cacheline touches per shard visit. */
+    int shardLines(EsChallenge c) const;
+    /** Memory-level parallelism of the shard walk. */
+    int shardMlp(EsChallenge c) const;
+    /** Per-shard merge cost at the coordinator. */
+    sim::Tick mergeCpuPerShard(EsChallenge c) const;
+};
+
+struct ElasticResult
+{
+    double throughputOps = 0;
+    sim::SampleStat latencyUs;
+    sim::Tick elapsed = 0;
+};
+
+class ElasticBenchmark
+{
+  public:
+    ElasticBenchmark(sys::Testbed &testbed, ElasticParams params);
+
+    ElasticResult run();
+
+  private:
+    struct Shard
+    {
+        sys::Node *node;
+        std::unique_ptr<os::AddressSpace> space;
+        std::unique_ptr<sys::MemoryPath> path;
+        mem::Addr base = 0;
+        bool remote = false; ///< lives on server B (scale-out)
+    };
+
+    sys::Testbed &_testbed;
+    ElasticParams _params;
+    sim::Rng _rng;
+    std::vector<Shard> _shards;
+
+    void queryShard(Shard &shard, std::function<void()> done);
+    void runQuery(std::function<void()> done);
+};
+
+} // namespace tf::apps
+
+#endif // TF_APPS_ELASTIC_HH

@@ -1,0 +1,154 @@
+#include "apps/stream.hh"
+
+namespace tf::apps {
+
+const char *
+streamKernelName(StreamKernel k)
+{
+    switch (k) {
+      case StreamKernel::Copy:
+        return "copy";
+      case StreamKernel::Scale:
+        return "scale";
+      case StreamKernel::Add:
+        return "add";
+      case StreamKernel::Triad:
+        return "triad";
+    }
+    return "?";
+}
+
+std::uint32_t
+StreamBenchmark::bytesPerElement(StreamKernel k)
+{
+    switch (k) {
+      case StreamKernel::Copy:
+      case StreamKernel::Scale:
+        return 16; // 1 read + 1 write
+      case StreamKernel::Add:
+      case StreamKernel::Triad:
+        return 24; // 2 reads + 1 write
+    }
+    return 0;
+}
+
+StreamBenchmark::StreamBenchmark(sys::Testbed &testbed,
+                                 StreamParams params)
+    : _testbed(testbed), _params(params),
+      _space(testbed.serverA().mm(), testbed.serverA().localNode(),
+             testbed.serverPolicy()),
+      _path(testbed.serverA())
+{
+    std::uint64_t bytes = _params.elements * 8;
+    _a = _space.mmap(bytes);
+    _b = _space.mmap(bytes);
+    _c = _space.mmap(bytes);
+}
+
+sim::Tick
+StreamBenchmark::runOnce(StreamKernel kernel)
+{
+    auto &eq = _testbed.serverA().dram().eventQueue();
+    sim::Tick start = eq.now();
+
+    // Array roles per kernel: reads then the write target.
+    std::vector<mem::Addr> read_arrays;
+    mem::Addr write_array = 0;
+    switch (kernel) {
+      case StreamKernel::Copy:
+        read_arrays = {_a};
+        write_array = _c;
+        break;
+      case StreamKernel::Scale:
+        read_arrays = {_c};
+        write_array = _b;
+        break;
+      case StreamKernel::Add:
+        read_arrays = {_a, _b};
+        write_array = _c;
+        break;
+      case StreamKernel::Triad:
+        read_arrays = {_b, _c};
+        write_array = _a;
+        break;
+    }
+
+    const std::uint64_t total_lines =
+        _params.elements * 8 / mem::cachelineBytes;
+    const std::uint64_t lines_per_thread =
+        total_lines / static_cast<std::uint64_t>(_params.threads);
+
+    struct ThreadState
+    {
+        std::uint64_t nextLine;
+        std::uint64_t endLine;
+    };
+    auto states = std::make_shared<std::vector<ThreadState>>();
+    for (int t = 0; t < _params.threads; ++t) {
+        std::uint64_t begin =
+            static_cast<std::uint64_t>(t) * lines_per_thread;
+        states->push_back(
+            ThreadState{begin, begin + lines_per_thread});
+    }
+
+    // Each simulated OpenMP thread walks its slice in chunks; every
+    // chunk is a burst of read-line fills plus write-line RFO fills
+    // (dirty evictions surface as write-back traffic automatically).
+    auto step = std::make_shared<std::function<void(int)>>();
+    *step = [this, states, step, read_arrays, write_array](int t) {
+        ThreadState &st = (*states)[static_cast<std::size_t>(t)];
+        if (st.nextLine >= st.endLine)
+            return; // thread done
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(_params.chunkLines,
+                                    st.endLine - st.nextLine);
+        // Loads and write-allocate fills overlap on the prefetch
+        // streams and store queue: one mixed burst per chunk.
+        std::vector<sys::Access> accesses;
+        for (std::uint64_t i = 0; i < chunk; ++i) {
+            std::uint64_t line = st.nextLine + i;
+            for (mem::Addr base : read_arrays)
+                accesses.push_back(sys::Access{
+                    base + line * mem::cachelineBytes, false});
+            accesses.push_back(sys::Access{
+                write_array + line * mem::cachelineBytes, true});
+        }
+        st.nextLine += chunk;
+        _path.burstMixed(_space, std::move(accesses),
+                         _params.mlpPerThread,
+                         [step, t]() { (*step)(t); },
+                         /*streamingStores=*/true);
+    };
+
+    for (int t = 0; t < _params.threads; ++t)
+        (*step)(t);
+    eq.run();
+    return eq.now() - start;
+}
+
+StreamResult
+StreamBenchmark::run(StreamKernel kernel)
+{
+    StreamResult result;
+    result.kernel = kernel;
+
+    double best = 0;
+    double sum = 0;
+    sim::Tick total = 0;
+    for (int it = 0; it < _params.iterations; ++it) {
+        sim::Tick t = runOnce(kernel);
+        double gib =
+            static_cast<double>(_params.elements) *
+            bytesPerElement(kernel) /
+            (1024.0 * 1024 * 1024) / sim::toSec(t);
+        best = std::max(best, gib);
+        sum += gib;
+        total += t;
+    }
+    result.bestGiBs = best;
+    result.avgGiBs = sum / _params.iterations;
+    result.elapsed = total;
+    return result;
+}
+
+} // namespace tf::apps

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * STREAM sustainable-memory-bandwidth benchmark model (Section VI-C).
+ *
+ * Reproduces McCalpin's four kernels with their exact per-iteration
+ * traffic:
+ *   copy  : c[i] = a[i]            (16 B/iter, 0 FLOP)
+ *   scale : b[i] = s*c[i]          (16 B/iter, 1 FLOP)
+ *   add   : c[i] = a[i]+b[i]       (24 B/iter, 1 FLOP)
+ *   triad : a[i] = b[i]+s*c[i]     (24 B/iter, 2 FLOP)
+ *
+ * Arrays are allocated through the kernel page policy of the active
+ * testbed configuration, so the same code measures local, single-/
+ * bonding-disaggregated and interleaved bandwidth. OpenMP threading
+ * is modelled as per-thread slices processed concurrently with a
+ * per-thread memory-level parallelism budget (POWER9 prefetch
+ * streams).
+ */
+
+#ifndef TF_APPS_STREAM_HH
+#define TF_APPS_STREAM_HH
+
+#include <string>
+#include <vector>
+
+#include "system/memory_path.hh"
+#include "system/testbed.hh"
+
+namespace tf::apps {
+
+enum class StreamKernel { Copy, Scale, Add, Triad };
+
+const char *streamKernelName(StreamKernel k);
+
+struct StreamParams
+{
+    /** Array elements (8 B each); paper: 160 M. Scaled for sim. */
+    std::uint64_t elements = 4 * 1024 * 1024; // 32 MiB per array
+    int threads = 8;
+    /** Outstanding cacheline misses per thread (prefetch depth). */
+    int mlpPerThread = 24;
+    /** Lines per processing chunk between events. */
+    std::uint32_t chunkLines = 64;
+    /** Repetitions; best-of is reported like STREAM does. */
+    int iterations = 2;
+};
+
+struct StreamResult
+{
+    StreamKernel kernel;
+    double bestGiBs = 0;   ///< best-iteration bandwidth
+    double avgGiBs = 0;
+    sim::Tick elapsed = 0; ///< total simulated time
+};
+
+class StreamBenchmark
+{
+  public:
+    StreamBenchmark(sys::Testbed &testbed, StreamParams params);
+
+    /** Run one kernel to completion (drains the event queue). */
+    StreamResult run(StreamKernel kernel);
+
+    /** Bytes the kernel counts per iteration (per element). */
+    static std::uint32_t bytesPerElement(StreamKernel k);
+
+  private:
+    sys::Testbed &_testbed;
+    StreamParams _params;
+    os::AddressSpace _space;
+    sys::MemoryPath _path;
+    mem::Addr _a = 0, _b = 0, _c = 0;
+
+    sim::Tick runOnce(StreamKernel kernel);
+};
+
+} // namespace tf::apps
+
+#endif // TF_APPS_STREAM_HH

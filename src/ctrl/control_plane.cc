@@ -1,0 +1,306 @@
+#include "ctrl/control_plane.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tf::ctrl {
+
+namespace {
+/** Soft per-flow reservation on a shared 100 Gb/s channel. */
+constexpr double kFlowDemandGbps = 25.0;
+} // namespace
+
+ControlPlane::ControlPlane(std::string agentToken)
+    : _agentToken(std::move(agentToken))
+{
+}
+
+void
+ControlPlane::addUser(const std::string &userToken, Role role)
+{
+    _users[userToken] = role;
+}
+
+bool
+ControlPlane::isAuthorised(const std::string &userToken,
+                           Role needed) const
+{
+    auto it = _users.find(userToken);
+    if (it == _users.end())
+        return false;
+    if (needed == Role::Admin)
+        return it->second == Role::Admin;
+    return true;
+}
+
+void
+ControlPlane::registerHost(const std::string &name, agent::Agent &agent,
+                           os::MemoryManager &mm)
+{
+    TF_ASSERT(!_hosts.count(name), "host %s already registered",
+              name.c_str());
+    HostInfo info;
+    info.agent = &agent;
+    info.mm = &mm;
+    info.computeEp = _graph.addVertex(VertexType::ComputeEndpoint,
+                                      name + ".computeEp");
+    info.memoryEp =
+        _graph.addVertex(VertexType::MemoryEndpoint, name + ".memoryEp");
+    _hosts[name] = info;
+}
+
+void
+ControlPlane::registerDatapath(const std::string &computeHost,
+                               const std::string &donorHost,
+                               flow::Datapath &datapath)
+{
+    TF_ASSERT(_hosts.count(computeHost) && _hosts.count(donorHost),
+              "datapath references unregistered hosts");
+    DatapathInfo info;
+    info.datapath = &datapath;
+    info.computeHost = computeHost;
+    info.donorHost = donorHost;
+
+    const HostInfo &chost = _hosts[computeHost];
+    const HostInfo &dhost = _hosts[donorHost];
+    double channel_gbps =
+        datapath.params().channelBps * 8.0 / 1e9; // 100 Gb/s
+
+    for (std::size_t ch = 0; ch < datapath.channelCount(); ++ch) {
+        std::string suffix = "." + computeHost + "-" + donorHost +
+                             ".ch" + std::to_string(ch);
+        VertexId tx_c = _graph.addVertex(VertexType::Transceiver,
+                                         "tx.compute" + suffix);
+        VertexId tx_d = _graph.addVertex(VertexType::Transceiver,
+                                         "tx.donor" + suffix);
+        _graph.vertex(tx_c).props["channel"] = std::to_string(ch);
+        _graph.vertex(tx_d).props["channel"] = std::to_string(ch);
+        // Endpoint-to-transceiver hops have the host-link capacity.
+        _graph.addEdge(chost.computeEp, tx_c, 200.0);
+        EdgeId link = _graph.addEdge(tx_c, tx_d, channel_gbps);
+        _graph.addEdge(tx_d, dhost.memoryEp, 200.0);
+        info.channelEdges.push_back(link);
+    }
+    _datapaths.push_back(std::move(info));
+}
+
+ControlPlane::DatapathInfo *
+ControlPlane::findDatapath(const std::string &computeHost,
+                           const std::string &donorHost)
+{
+    for (auto &dpi : _datapaths)
+        if (dpi.computeHost == computeHost &&
+            dpi.donorHost == donorHost)
+            return &dpi;
+    return nullptr;
+}
+
+std::vector<int>
+ControlPlane::channelsFromPaths(const DatapathInfo &dpi,
+                                const std::vector<Path> &paths) const
+{
+    std::vector<int> channels;
+    for (const Path &p : paths) {
+        for (EdgeId e : p.edges) {
+            for (std::size_t ch = 0; ch < dpi.channelEdges.size();
+                 ++ch) {
+                if (dpi.channelEdges[ch] == e)
+                    channels.push_back(static_cast<int>(ch));
+            }
+        }
+    }
+    return channels;
+}
+
+std::optional<std::uint64_t>
+ControlPlane::allocate(const std::string &userToken,
+                       const std::string &computeHost,
+                       const std::string &donorHost,
+                       std::uint64_t bytes, os::NodeId numaNode,
+                       int channelsWanted, os::NodeId donorNode)
+{
+    if (!isAuthorised(userToken, Role::Admin))
+        return std::nullopt;
+    if (!_hosts.count(computeHost) || !_hosts.count(donorHost))
+        return std::nullopt;
+    DatapathInfo *dpi = findDatapath(computeHost, donorHost);
+    if (dpi == nullptr)
+        return std::nullopt;
+
+    const HostInfo &chost = _hosts[computeHost];
+    const HostInfo &dhost = _hosts[donorHost];
+
+    // 1. Find and reserve the network paths (disjoint per channel).
+    std::vector<Path> paths;
+    std::vector<EdgeId> used;
+    for (int i = 0; i < channelsWanted; ++i) {
+        auto path = _graph.findPath(chost.computeEp, dhost.memoryEp,
+                                    kFlowDemandGbps, &used);
+        if (!path) {
+            for (const Path &p : paths)
+                _graph.release(p, kFlowDemandGbps);
+            return std::nullopt;
+        }
+        _graph.reserve(*path, kFlowDemandGbps);
+        used.insert(used.end(), path->edges.begin(),
+                    path->edges.end());
+        paths.push_back(std::move(*path));
+    }
+    std::vector<int> channels = channelsFromPaths(*dpi, paths);
+    if (channels.size() != static_cast<std::size_t>(channelsWanted)) {
+        for (const Path &p : paths)
+            _graph.release(p, kFlowDemandGbps);
+        return std::nullopt;
+    }
+
+    // 2. Donor side: steal + pin the memory.
+    auto donation =
+        dhost.agent->stealMemory(_agentToken, bytes, donorNode);
+    if (!donation) {
+        for (const Path &p : paths)
+            _graph.release(p, kFlowDemandGbps);
+        return std::nullopt;
+    }
+
+    // 3. Compute side: program the endpoint and hotplug the memory.
+    auto attachment = chost.agent->attachMemory(
+        _agentToken, *dpi->datapath, *donation, numaNode, channels);
+    if (!attachment) {
+        dhost.agent->releaseDonation(_agentToken, *donation);
+        for (const Path &p : paths)
+            _graph.release(p, kFlowDemandGbps);
+        return std::nullopt;
+    }
+
+    AllocationRecord rec;
+    rec.id = _nextAllocation++;
+    rec.computeHost = computeHost;
+    rec.donorHost = donorHost;
+    rec.donation = *donation;
+    rec.attachment = *attachment;
+    rec.paths = std::move(paths);
+    rec.demandGbpsPerPath = kFlowDemandGbps;
+    rec.datapath = dpi->datapath;
+    std::uint64_t id = rec.id;
+    _allocations[id] = std::move(rec);
+    return id;
+}
+
+bool
+ControlPlane::deallocate(const std::string &userToken, std::uint64_t id)
+{
+    if (!isAuthorised(userToken, Role::Admin))
+        return false;
+    auto it = _allocations.find(id);
+    if (it == _allocations.end())
+        return false;
+    AllocationRecord &rec = it->second;
+
+    agent::Agent *cagent = _hosts[rec.computeHost].agent;
+    agent::Agent *dagent = _hosts[rec.donorHost].agent;
+    if (!cagent->detachMemory(_agentToken, *rec.datapath,
+                              rec.attachment))
+        return false; // pages in use; caller must drain first
+    dagent->releaseDonation(_agentToken, rec.donation);
+    for (const Path &p : rec.paths)
+        _graph.release(p, rec.demandGbpsPerPath);
+    _allocations.erase(it);
+    return true;
+}
+
+const AllocationRecord *
+ControlPlane::allocation(std::uint64_t id) const
+{
+    auto it = _allocations.find(id);
+    return it == _allocations.end() ? nullptr : &it->second;
+}
+
+std::map<std::string, std::string>
+ControlPlane::parseBody(const std::string &body)
+{
+    std::map<std::string, std::string> out;
+    std::istringstream is(body);
+    std::string token;
+    while (is >> token) {
+        auto eq = token.find('=');
+        if (eq == std::string::npos)
+            continue;
+        out[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+    return out;
+}
+
+ControlPlane::HttpResponse
+ControlPlane::handleRequest(const std::string &userToken,
+                            const std::string &method,
+                            const std::string &path,
+                            const std::string &body)
+{
+    bool mutation = method == "POST" || method == "DELETE";
+    if (!isAuthorised(userToken,
+                      mutation ? Role::Admin : Role::Observer)) {
+        return {403, "forbidden"};
+    }
+
+    if (method == "GET" && path == "/topology") {
+        std::ostringstream os;
+        os << "vertices=" << _graph.vertexCount()
+           << " edges=" << _graph.edgeCount();
+        return {200, os.str()};
+    }
+
+    if (method == "GET" && path == "/flows") {
+        std::ostringstream os;
+        for (const auto &[id, rec] : _allocations) {
+            os << "id=" << id << " compute=" << rec.computeHost
+               << " donor=" << rec.donorHost
+               << " bytes=" << rec.donation.bytes()
+               << " channels=" << rec.paths.size() << "\n";
+        }
+        return {200, os.str()};
+    }
+
+    if (method == "GET" && path.rfind("/flows/", 0) == 0) {
+        std::uint64_t id = std::stoull(path.substr(7));
+        const AllocationRecord *rec = allocation(id);
+        if (rec == nullptr)
+            return {404, "no such flow"};
+        std::ostringstream os;
+        os << "id=" << rec->id << " compute=" << rec->computeHost
+           << " donor=" << rec->donorHost
+           << " bytes=" << rec->donation.bytes()
+           << " numa=" << rec->attachment.numaNode;
+        return {200, os.str()};
+    }
+
+    if (method == "POST" && path == "/flows") {
+        auto kv = parseBody(body);
+        if (!kv.count("compute") || !kv.count("donor") ||
+            !kv.count("bytes") || !kv.count("numa")) {
+            return {400, "missing parameter"};
+        }
+        int channels =
+            kv.count("channels") ? std::stoi(kv["channels"]) : 1;
+        os::NodeId donor_node =
+            kv.count("donor_node") ? std::stoi(kv["donor_node"]) : 0;
+        auto id = allocate(userToken, kv["compute"], kv["donor"],
+                           std::stoull(kv["bytes"]),
+                           std::stoi(kv["numa"]), channels,
+                           donor_node);
+        if (!id)
+            return {409, "allocation failed"};
+        return {201, "id=" + std::to_string(*id)};
+    }
+
+    if (method == "DELETE" && path.rfind("/flows/", 0) == 0) {
+        std::uint64_t id = std::stoull(path.substr(7));
+        if (!deallocate(userToken, id))
+            return {409, "deallocation failed"};
+        return {200, "ok"};
+    }
+
+    return {404, "unknown endpoint"};
+}
+
+} // namespace tf::ctrl

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Software-defined control plane (Section IV-C).
+ *
+ * Responsibilities, as in the paper: i) system state maintenance (the
+ * property graph), ii) configuration of endpoints via the trusted
+ * host agents, iii) a system access interface (a REST-style command
+ * handler), and iv) security and access control (per-user tokens with
+ * roles; agents only accept the control plane's token).
+ *
+ * For each allocation request the control plane traverses the graph
+ * for the best available path(s) between the compute and
+ * memory-stealing endpoints, reserves their resources, and pushes the
+ * resulting configuration to the agents on both hosts.
+ */
+
+#ifndef TF_CTRL_CONTROL_PLANE_HH
+#define TF_CTRL_CONTROL_PLANE_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hh"
+#include "ctrl/graph.hh"
+
+namespace tf::ctrl {
+
+enum class Role { Admin, Observer };
+
+/** A composed disaggregated-memory allocation. */
+struct AllocationRecord
+{
+    std::uint64_t id = 0;
+    std::string computeHost;
+    std::string donorHost;
+    agent::Donation donation;
+    agent::Attachment attachment;
+    std::vector<Path> paths; ///< reserved network paths (1 per channel)
+    double demandGbpsPerPath = 0;
+    flow::Datapath *datapath = nullptr;
+};
+
+class ControlPlane
+{
+  public:
+    /** @param agentToken shared secret pushed to trusted agents. */
+    explicit ControlPlane(std::string agentToken);
+
+    const std::string &agentToken() const { return _agentToken; }
+
+    // ------------------------- users / ACL -------------------------
+
+    void addUser(const std::string &userToken, Role role);
+    bool isAuthorised(const std::string &userToken, Role needed) const;
+
+    // --------------------- topology registration -------------------
+
+    /** Register a host (both roles); creates its endpoint vertices. */
+    void registerHost(const std::string &name, agent::Agent &agent,
+                      os::MemoryManager &mm);
+
+    /**
+     * Register a point-to-point datapath between two registered
+     * hosts; creates transceiver vertices and 100 Gb/s link edges,
+     * one per channel.
+     */
+    void registerDatapath(const std::string &computeHost,
+                          const std::string &donorHost,
+                          flow::Datapath &datapath);
+
+    const PropertyGraph &graph() const { return _graph; }
+
+    // --------------------------- operations ------------------------
+
+    /**
+     * Compose disaggregated memory: steal @p bytes on the donor,
+     * reserve @p channelsWanted network paths, configure the
+     * endpoints, and hotplug the memory into @p numaNode on the
+     * compute host.
+     * @return the allocation id, or nullopt (no capacity / memory /
+     *         permission).
+     */
+    std::optional<std::uint64_t>
+    allocate(const std::string &userToken,
+             const std::string &computeHost,
+             const std::string &donorHost, std::uint64_t bytes,
+             os::NodeId numaNode, int channelsWanted = 1,
+             os::NodeId donorNode = 0);
+
+    /** Tear an allocation down and release every resource. */
+    bool deallocate(const std::string &userToken, std::uint64_t id);
+
+    const AllocationRecord *allocation(std::uint64_t id) const;
+    std::size_t allocationCount() const { return _allocations.size(); }
+
+    // ----------------------- REST-style access ---------------------
+
+    struct HttpResponse
+    {
+        int status = 200;
+        std::string body;
+    };
+
+    /**
+     * Handle a REST-style request:
+     *   POST /flows    body: compute=H donor=H bytes=N numa=N
+     *                        channels=N [donor_node=N]
+     *   DELETE /flows/<id>
+     *   GET /flows | GET /flows/<id> | GET /topology
+     * Mutations need an Admin token; reads need any known token.
+     */
+    HttpResponse handleRequest(const std::string &userToken,
+                               const std::string &method,
+                               const std::string &path,
+                               const std::string &body = "");
+
+  private:
+    struct HostInfo
+    {
+        agent::Agent *agent = nullptr;
+        os::MemoryManager *mm = nullptr;
+        VertexId computeEp = 0;
+        VertexId memoryEp = 0;
+    };
+
+    struct DatapathInfo
+    {
+        flow::Datapath *datapath = nullptr;
+        std::string computeHost;
+        std::string donorHost;
+        /** channel index -> link edge id. */
+        std::vector<EdgeId> channelEdges;
+    };
+
+    std::string _agentToken;
+    std::map<std::string, Role> _users;
+    PropertyGraph _graph;
+    std::map<std::string, HostInfo> _hosts;
+    std::vector<DatapathInfo> _datapaths;
+    std::map<std::uint64_t, AllocationRecord> _allocations;
+    std::uint64_t _nextAllocation = 1;
+
+    DatapathInfo *findDatapath(const std::string &computeHost,
+                               const std::string &donorHost);
+    std::vector<int> channelsFromPaths(const DatapathInfo &dpi,
+                                       const std::vector<Path> &paths)
+        const;
+    static std::map<std::string, std::string>
+    parseBody(const std::string &body);
+};
+
+} // namespace tf::ctrl
+
+#endif // TF_CTRL_CONTROL_PLANE_HH

@@ -1,0 +1,263 @@
+#include "dc/models.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace tf::dc {
+
+// ----------------------------------------------------------- Fixed
+
+FixedModel::FixedModel(std::size_t servers, Placement placement)
+    : _servers(servers), _placement(placement)
+{
+}
+
+bool
+FixedModel::place(const Job &job)
+{
+    // Online placement over the feasible servers: best-fit minimises
+    // the combined leftover; least-loaded picks the emptiest server.
+    double best_score = std::numeric_limits<double>::infinity();
+    std::size_t best = _servers.size();
+    for (std::size_t i = 0; i < _servers.size(); ++i) {
+        const Server &s = _servers[i];
+        double cpu_free = 1.0 - s.cpuUsed;
+        double mem_free = 1.0 - s.memUsed;
+        if (cpu_free < job.cpu || mem_free < job.mem)
+            continue;
+        double leftover = (cpu_free - job.cpu) + (mem_free - job.mem);
+        double score = _placement == Placement::BestFit
+                           ? leftover
+                           : -leftover; // least-loaded: max leftover
+        if (score < best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    if (best == _servers.size()) {
+        _rejected.inc();
+        return false;
+    }
+    if (_servers[best].jobs == 0)
+        ++_poweredOn;
+    _servers[best].cpuUsed += job.cpu;
+    _servers[best].memUsed += job.mem;
+    ++_servers[best].jobs;
+    _cpuUsedTotal += job.cpu;
+    _memUsedTotal += job.mem;
+    _placements[job.id] = {best, job};
+    return true;
+}
+
+void
+FixedModel::remove(std::uint64_t jobId)
+{
+    auto it = _placements.find(jobId);
+    if (it == _placements.end())
+        return;
+    auto [idx, job] = it->second;
+    Server &s = _servers[idx];
+    s.cpuUsed = std::max(0.0, s.cpuUsed - job.cpu);
+    s.memUsed = std::max(0.0, s.memUsed - job.mem);
+    --s.jobs;
+    if (s.jobs == 0)
+        --_poweredOn;
+    _cpuUsedTotal -= job.cpu;
+    _memUsedTotal -= job.mem;
+    _placements.erase(it);
+}
+
+UtilMetrics
+FixedModel::metrics() const
+{
+    // All used capacity lives on powered-on servers, so the waste on
+    // powered-on servers is poweredOn - used (O(1)).
+    UtilMetrics m;
+    double total = static_cast<double>(_servers.size());
+    double on = static_cast<double>(_poweredOn);
+    m.cpuFragmentation = (on - _cpuUsedTotal) / total;
+    m.memFragmentation = (on - _memUsedTotal) / total;
+    // A conventional server powers CPU and memory together.
+    m.cpuOff = (total - on) / total;
+    m.memOff = m.cpuOff;
+    return m;
+}
+
+// ------------------------------------------------------ Disaggregated
+
+DisaggModel::DisaggModel(std::size_t computeModules,
+                         std::size_t memoryModules, int linksPerModule)
+    : _compute(computeModules), _memory(memoryModules),
+      _linksPerModule(linksPerModule)
+{
+}
+
+bool
+DisaggModel::allocateMemory(ComputeModule &cm, std::size_t cmIdx,
+                            double mem,
+                            std::map<std::size_t, double> &out)
+{
+    (void)cmIdx;
+    double remaining = mem;
+
+    // Global best-fit per chunk: prefer the module that absorbs the
+    // whole remainder with minimal leftover (ties broken towards
+    // modules this compute module is already linked to, which cost
+    // no extra link); if none fits, drain the largest free module.
+    while (remaining > 1e-12) {
+        bool links_left = cm.linksUsed < _linksPerModule;
+        double best_score = std::numeric_limits<double>::infinity();
+        std::size_t best = _memory.size();
+        double best_partial = 0;
+        std::size_t best_partial_idx = _memory.size();
+        for (std::size_t i = 0; i < _memory.size(); ++i) {
+            bool attached = cm.attachments.count(i) > 0;
+            if (!attached && !links_left)
+                continue;
+            double free = 1.0 - _memory[i].memUsed;
+            if (out.count(i))
+                free -= out[i];
+            if (free <= 1e-12)
+                continue;
+            if (free >= remaining) {
+                // Small bias towards attached modules on near-ties.
+                double score = (free - remaining) + (attached ? 0.0
+                                                             : 1e-6);
+                if (score < best_score) {
+                    best_score = score;
+                    best = i;
+                }
+            } else if (free > best_partial) {
+                best_partial = free;
+                best_partial_idx = i;
+            }
+        }
+        if (best == _memory.size())
+            best = best_partial_idx;
+        if (best == _memory.size())
+            return false;
+
+        double free = 1.0 - _memory[best].memUsed;
+        if (out.count(best))
+            free -= out[best];
+        double take = std::min(free, remaining);
+        out[best] += take;
+        remaining -= take;
+        if (!cm.attachments.count(best)) {
+            ++cm.linksUsed;
+            cm.attachments[best] = 0; // provisional; bumped on commit
+        }
+    }
+    return true;
+}
+
+void
+DisaggModel::rollbackMemory(ComputeModule &cm,
+                            const std::map<std::size_t, double> &taken)
+{
+    for (const auto &[mmIdx, amount] : taken) {
+        (void)amount;
+        auto it = cm.attachments.find(mmIdx);
+        if (it != cm.attachments.end() && it->second == 0) {
+            cm.attachments.erase(it);
+            --cm.linksUsed;
+        }
+    }
+}
+
+bool
+DisaggModel::place(const Job &job)
+{
+    // Best-fit compute module by CPU.
+    double best_score = std::numeric_limits<double>::infinity();
+    std::size_t best = _compute.size();
+    for (std::size_t i = 0; i < _compute.size(); ++i) {
+        double free = 1.0 - _compute[i].cpuUsed;
+        if (free < job.cpu)
+            continue;
+        double score = free - job.cpu;
+        if (score < best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    if (best == _compute.size()) {
+        _rejected.inc();
+        return false;
+    }
+
+    ComputeModule &cm = _compute[best];
+    std::map<std::size_t, double> memory;
+    if (!allocateMemory(cm, best, job.mem, memory)) {
+        rollbackMemory(cm, memory);
+        _rejected.inc();
+        return false;
+    }
+
+    // Commit.
+    if (cm.jobs == 0)
+        ++_computeOn;
+    cm.cpuUsed += job.cpu;
+    ++cm.jobs;
+    _cpuUsedTotal += job.cpu;
+    for (const auto &[mmIdx, amount] : memory) {
+        if (_memory[mmIdx].jobs == 0)
+            ++_memoryOn;
+        _memory[mmIdx].memUsed += amount;
+        ++_memory[mmIdx].jobs;
+        _memUsedTotal += amount;
+        ++cm.attachments[mmIdx];
+    }
+    _placements[job.id] = Placement{job, best, memory};
+    return true;
+}
+
+void
+DisaggModel::remove(std::uint64_t jobId)
+{
+    auto it = _placements.find(jobId);
+    if (it == _placements.end())
+        return;
+    const Placement &p = it->second;
+    ComputeModule &cm = _compute[p.compute];
+    cm.cpuUsed = std::max(0.0, cm.cpuUsed - p.job.cpu);
+    --cm.jobs;
+    if (cm.jobs == 0)
+        --_computeOn;
+    _cpuUsedTotal -= p.job.cpu;
+    for (const auto &[mmIdx, amount] : p.memory) {
+        MemoryModule &mm = _memory[mmIdx];
+        mm.memUsed = std::max(0.0, mm.memUsed - amount);
+        --mm.jobs;
+        if (mm.jobs == 0)
+            --_memoryOn;
+        _memUsedTotal -= amount;
+        auto att = cm.attachments.find(mmIdx);
+        TF_ASSERT(att != cm.attachments.end(),
+                  "placement without attachment");
+        if (--att->second == 0) {
+            cm.attachments.erase(att);
+            --cm.linksUsed;
+        }
+    }
+    _placements.erase(it);
+}
+
+UtilMetrics
+DisaggModel::metrics() const
+{
+    UtilMetrics m;
+    double nc = static_cast<double>(_compute.size());
+    double nm = static_cast<double>(_memory.size());
+    m.cpuFragmentation =
+        (static_cast<double>(_computeOn) - _cpuUsedTotal) / nc;
+    m.memFragmentation =
+        (static_cast<double>(_memoryOn) - _memUsedTotal) / nm;
+    m.cpuOff = (nc - static_cast<double>(_computeOn)) / nc;
+    m.memOff = (nm - static_cast<double>(_memoryOn)) / nm;
+    return m;
+}
+
+} // namespace tf::dc

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Data-centre infrastructure models for the Fig. 1 motivation study.
+ *
+ * Two infrastructures offering the same total resources:
+ *
+ *  - FixedModel: 12555 conventional servers, each with 1.0 CPU and
+ *    1.0 memory capacity; a job must fit entirely on one server.
+ *  - DisaggModel: 12555 compute modules and 12555 memory modules;
+ *    a job's CPU lands on one compute module and its memory on one
+ *    or more memory modules, subject to each compute module having
+ *    16 interconnect links (modelling parallel transceivers) in a
+ *    fully connected topology.
+ *
+ * Both use an online best-fit allocation policy without resource
+ * overcommitment (Section II).
+ */
+
+#ifndef TF_DC_MODELS_HH
+#define TF_DC_MODELS_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dc/trace.hh"
+#include "sim/stats.hh"
+
+namespace tf::dc {
+
+/** Utilisation metrics matching Fig. 1's two bar groups. */
+struct UtilMetrics
+{
+    /**
+     * Fragmentation index: fraction of total capacity that sits
+     * unused inside powered-on (partially allocated) units.
+     */
+    double cpuFragmentation = 0;
+    double memFragmentation = 0;
+    /** Fraction of units with zero allocation (can be switched off). */
+    double cpuOff = 0;
+    double memOff = 0;
+};
+
+/** Common interface so the simulation can drive either model. */
+class DataCentreModel
+{
+  public:
+    virtual ~DataCentreModel() = default;
+
+    /** Try to place a job; false when it does not fit anywhere. */
+    virtual bool place(const Job &job) = 0;
+
+    /** Release a previously placed job. */
+    virtual void remove(std::uint64_t jobId) = 0;
+
+    /** Snapshot current utilisation. */
+    virtual UtilMetrics metrics() const = 0;
+};
+
+// --------------------------------------------------------------------
+
+class FixedModel : public DataCentreModel
+{
+  public:
+    /**
+     * Placement policy. BestFit packs (minimum leftover). LeastLoaded
+     * spreads like production cluster schedulers balance machines --
+     * it reproduces the ClusterData behaviour that nearly every
+     * machine hosts something (Fig. 1's ~1% switched-off servers).
+     */
+    enum class Placement { BestFit, LeastLoaded };
+
+    explicit FixedModel(std::size_t servers,
+                        Placement placement = Placement::BestFit);
+
+    bool place(const Job &job) override;
+    void remove(std::uint64_t jobId) override;
+    UtilMetrics metrics() const override;
+
+    std::uint64_t rejected() const { return _rejected.value(); }
+
+  private:
+    struct Server
+    {
+        double cpuUsed = 0;
+        double memUsed = 0;
+        int jobs = 0;
+    };
+
+    std::vector<Server> _servers;
+    Placement _placement;
+    std::map<std::uint64_t, std::pair<std::size_t, Job>> _placements;
+    sim::Counter _rejected;
+    // O(1) aggregates for metrics().
+    std::size_t _poweredOn = 0;
+    double _cpuUsedTotal = 0;
+    double _memUsedTotal = 0;
+};
+
+// --------------------------------------------------------------------
+
+class DisaggModel : public DataCentreModel
+{
+  public:
+    DisaggModel(std::size_t computeModules, std::size_t memoryModules,
+                int linksPerModule = 16);
+
+    bool place(const Job &job) override;
+    void remove(std::uint64_t jobId) override;
+    UtilMetrics metrics() const override;
+
+    std::uint64_t rejected() const { return _rejected.value(); }
+
+  private:
+    struct ComputeModule
+    {
+        double cpuUsed = 0;
+        int jobs = 0;
+        int linksUsed = 0;
+        /** memory module -> number of this module's jobs using it. */
+        std::map<std::size_t, int> attachments;
+    };
+
+    struct MemoryModule
+    {
+        double memUsed = 0;
+        int jobs = 0;
+    };
+
+    struct Placement
+    {
+        Job job;
+        std::size_t compute = 0;
+        /** memory module -> bytes (capacity units) allocated there. */
+        std::map<std::size_t, double> memory;
+    };
+
+    std::vector<ComputeModule> _compute;
+    std::vector<MemoryModule> _memory;
+    std::map<std::uint64_t, Placement> _placements;
+    int _linksPerModule;
+    sim::Counter _rejected;
+    // O(1) aggregates for metrics().
+    std::size_t _computeOn = 0;
+    std::size_t _memoryOn = 0;
+    double _cpuUsedTotal = 0;
+    double _memUsedTotal = 0;
+
+    bool allocateMemory(ComputeModule &cm, std::size_t cmIdx,
+                        double mem,
+                        std::map<std::size_t, double> &out);
+    void rollbackMemory(ComputeModule &cm,
+                        const std::map<std::size_t, double> &taken);
+};
+
+} // namespace tf::dc
+
+#endif // TF_DC_MODELS_HH

@@ -1,0 +1,103 @@
+#include "dc/simulation.hh"
+
+#include <algorithm>
+#include <algorithm>
+#include <queue>
+
+namespace tf::dc {
+
+namespace {
+
+struct Event
+{
+    sim::Tick when;
+    bool isArrival;
+    std::size_t jobIdx; // into the trace
+
+    bool
+    operator>(const Event &other) const
+    {
+        if (when != other.when)
+            return when > other.when;
+        // Process departures before arrivals at the same instant.
+        return isArrival && !other.isArrival;
+    }
+};
+
+} // namespace
+
+SimulationResult
+DataCentreSimulation::run(DataCentreModel &model,
+                          const std::vector<Job> &trace)
+{
+    SimulationResult result;
+    if (trace.empty())
+        return result;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        events.push(Event{trace[i].arrival, true, i});
+
+    sim::Tick warmup_until =
+        trace.front().arrival +
+        static_cast<sim::Tick>(
+            _warmupFraction *
+            static_cast<double>(trace.back().arrival -
+                                trace.front().arrival));
+
+    // Measure only while the arrival process is live: after the
+    // final arrival the cluster drains along the heavy duration tail
+    // and would otherwise dominate the time-weighted average.
+    sim::Tick measure_until = trace.back().arrival;
+
+    sim::Tick last = warmup_until;
+    double weight_total = 0;
+    UtilMetrics acc;
+
+    auto accumulate = [&](sim::Tick now) {
+        now = std::min(now, measure_until);
+        if (now <= last)
+            return;
+        double w = static_cast<double>(now - last);
+        UtilMetrics m = model.metrics();
+        acc.cpuFragmentation += m.cpuFragmentation * w;
+        acc.memFragmentation += m.memFragmentation * w;
+        acc.cpuOff += m.cpuOff * w;
+        acc.memOff += m.memOff * w;
+        weight_total += w;
+        last = now;
+    };
+
+    while (!events.empty()) {
+        Event ev = events.top();
+        events.pop();
+        if (ev.when > warmup_until)
+            accumulate(ev.when);
+        (void)0;
+        const Job &job = trace[ev.jobIdx];
+        if (ev.isArrival) {
+            if (model.place(job)) {
+                ++result.placed;
+                events.push(
+                    Event{ev.when + job.duration, false, ev.jobIdx});
+            } else {
+                ++result.rejectedAtArrival;
+            }
+        } else {
+            model.remove(job.id);
+        }
+    }
+
+    if (weight_total > 0) {
+        result.average.cpuFragmentation =
+            acc.cpuFragmentation / weight_total;
+        result.average.memFragmentation =
+            acc.memFragmentation / weight_total;
+        result.average.cpuOff = acc.cpuOff / weight_total;
+        result.average.memOff = acc.memOff / weight_total;
+    }
+    return result;
+}
+
+} // namespace tf::dc

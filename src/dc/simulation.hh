@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Replays an allocation trace through a data-centre model and
+ * accumulates time-weighted utilisation metrics (Fig. 1).
+ */
+
+#ifndef TF_DC_SIMULATION_HH
+#define TF_DC_SIMULATION_HH
+
+#include "dc/models.hh"
+
+namespace tf::dc {
+
+struct SimulationResult
+{
+    /** Time-weighted averages over the measured window. */
+    UtilMetrics average;
+    std::uint64_t placed = 0;
+    std::uint64_t rejectedAtArrival = 0;
+};
+
+class DataCentreSimulation
+{
+  public:
+    /**
+     * @param warmupFraction skip this fraction of the trace before
+     *        measuring, so metrics reflect steady state.
+     */
+    explicit DataCentreSimulation(double warmupFraction = 0.2)
+        : _warmupFraction(warmupFraction)
+    {}
+
+    SimulationResult run(DataCentreModel &model,
+                         const std::vector<Job> &trace);
+
+  private:
+    double _warmupFraction;
+};
+
+} // namespace tf::dc
+
+#endif // TF_DC_SIMULATION_HH

@@ -1,0 +1,55 @@
+#include "dc/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tf::dc {
+
+TraceGenerator::TraceGenerator(TraceParams params, std::uint64_t seed)
+    : _params(params), _rng(seed)
+{
+}
+
+std::vector<Job>
+TraceGenerator::generate()
+{
+    std::vector<Job> jobs;
+    jobs.reserve(_params.jobs);
+    sim::Tick t = 0;
+    for (std::uint64_t i = 0; i < _params.jobs; ++i) {
+        t += static_cast<sim::Tick>(_rng.exponential(
+            static_cast<double>(_params.meanInterarrival)));
+
+        Job job;
+        job.id = i;
+        job.arrival = t;
+
+        // Heavy-tailed duration: log-normal body, occasionally a
+        // bounded-Pareto long-runner (services vs batch split).
+        double dur;
+        if (_rng.chance(0.01)) {
+            dur = _rng.boundedPareto(
+                1.1, std::exp(_params.durationMu),
+                std::exp(_params.durationMu) * 100.0);
+        } else {
+            dur = _rng.logNormal(_params.durationMu,
+                                 _params.durationSigma);
+        }
+        job.duration = static_cast<sim::Tick>(dur);
+
+        double cpu = _rng.logNormal(_params.cpuMu, _params.cpuSigma);
+        double ratio = std::pow(
+            10.0,
+            _rng.uniform(_params.ratioCenter - _params.ratioSpan / 2,
+                         _params.ratioCenter + _params.ratioSpan / 2));
+        double mem = cpu * ratio;
+        job.cpu = std::clamp(cpu, _params.minDemand,
+                             _params.maxDemand);
+        job.mem = std::clamp(mem, _params.minDemand,
+                             _params.maxDemand);
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+} // namespace tf::dc

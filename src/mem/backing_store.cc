@@ -1,0 +1,64 @@
+#include "mem/backing_store.hh"
+
+#include <cstring>
+
+namespace tf::mem {
+
+BackingStore::Page &
+BackingStore::pageFor(Addr addr) const
+{
+    std::uint64_t idx = pageIndex(addr);
+    auto it = _pages.find(idx);
+    if (it == _pages.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = _pages.emplace(idx, std::move(page)).first;
+    }
+    return *it->second;
+}
+
+void
+BackingStore::read(Addr addr, void *dst, std::uint64_t len) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        std::uint64_t off = addr % pageBytes;
+        std::uint64_t chunk = std::min(len, pageBytes - off);
+        const Page &page = pageFor(addr);
+        std::memcpy(out, page.data() + off, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+BackingStore::write(Addr addr, const void *src, std::uint64_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        std::uint64_t off = addr % pageBytes;
+        std::uint64_t chunk = std::min(len, pageBytes - off);
+        Page &page = pageFor(addr);
+        std::memcpy(page.data() + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+std::uint64_t
+BackingStore::read64(Addr addr) const
+{
+    std::uint64_t v = 0;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+BackingStore::write64(Addr addr, std::uint64_t value)
+{
+    write(addr, &value, sizeof(value));
+}
+
+} // namespace tf::mem

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sparse functional memory.
+ *
+ * Holds the actual bytes behind simulated physical memory so that the
+ * datapath can be verified end-to-end: a value stored through the
+ * ThymesisFlow stack must read back identically from donor memory.
+ * Pages are allocated lazily on first touch (zero-filled).
+ */
+
+#ifndef TF_MEM_BACKING_STORE_HH
+#define TF_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+
+namespace tf::mem {
+
+class BackingStore
+{
+  public:
+    BackingStore() = default;
+    BackingStore(const BackingStore &) = delete;
+    BackingStore &operator=(const BackingStore &) = delete;
+
+    /** Copy @p len bytes at @p addr into @p dst. */
+    void read(Addr addr, void *dst, std::uint64_t len) const;
+
+    /** Copy @p len bytes from @p src into memory at @p addr. */
+    void write(Addr addr, const void *src, std::uint64_t len);
+
+    /** Read a little-endian 64-bit word. */
+    std::uint64_t read64(Addr addr) const;
+
+    /** Write a little-endian 64-bit word. */
+    void write64(Addr addr, std::uint64_t value);
+
+    /** Number of pages materialised so far. */
+    std::size_t touchedPages() const { return _pages.size(); }
+
+    /** Drop all contents. */
+    void clear() { _pages.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageBytes>;
+    // mutable: reads materialise zero pages lazily.
+    mutable std::unordered_map<std::uint64_t, std::unique_ptr<Page>> _pages;
+
+    Page &pageFor(Addr addr) const;
+};
+
+} // namespace tf::mem
+
+#endif // TF_MEM_BACKING_STORE_HH

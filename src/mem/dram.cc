@@ -1,0 +1,73 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tf::mem {
+
+Dram::Dram(std::string name, sim::EventQueue &eq, DramParams params,
+           BackingStore *store)
+    : SimObject(std::move(name), eq), _params(params), _store(store)
+{
+    TF_ASSERT(_params.bandwidthBps > 0, "dram bandwidth must be positive");
+}
+
+sim::Tick
+Dram::serializationDelay(std::uint32_t bytes) const
+{
+    double secs = static_cast<double>(bytes) / _params.bandwidthBps;
+    return sim::seconds(secs);
+}
+
+sim::Tick
+Dram::estimatedLatency(std::uint32_t bytes) const
+{
+    sim::Tick start = std::max(now(), _nextFree);
+    return (start - now()) + serializationDelay(bytes) +
+           _params.accessLatency;
+}
+
+void
+Dram::access(TxnPtr txn, DoneFn done)
+{
+    TF_ASSERT(isRequest(txn->type), "dram got a response");
+
+    sim::Tick start = std::max(now(), _nextFree);
+    sim::Tick ser = serializationDelay(txn->size);
+    _nextFree = start + ser;
+    sim::Tick finish = start + ser + _params.accessLatency;
+
+    _bytes.inc(txn->size);
+    if (txn->isRead())
+        _reads.inc();
+    else
+        _writes.inc();
+
+    after(finish - now(),
+          [this, txn = std::move(txn), done = std::move(done)]() mutable {
+              if (_store) {
+                  if (txn->type == TxnType::WriteReq) {
+                      if (!txn->data.empty())
+                          _store->write(txn->addr, txn->data.data(),
+                                        std::min<std::uint64_t>(
+                                            txn->data.size(), txn->size));
+                  } else {
+                      txn->data.resize(txn->size);
+                      _store->read(txn->addr, txn->data.data(), txn->size);
+                  }
+              }
+              txn->makeResponse();
+              done(std::move(txn));
+          });
+}
+
+void
+Dram::reportStats(sim::StatSet &out) const
+{
+    out.record("reads", static_cast<double>(_reads.value()), "txns");
+    out.record("writes", static_cast<double>(_writes.value()), "txns");
+    out.record("bytes", static_cast<double>(_bytes.value()), "B");
+}
+
+} // namespace tf::mem

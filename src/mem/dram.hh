@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DRAM channel model.
+ *
+ * A latency + bandwidth model of one memory controller's DRAM: each
+ * access pays a fixed access latency, and the channel serialises data
+ * at the configured bandwidth (next-free-time model). This captures the
+ * two effects the paper's evaluation depends on -- local access latency
+ * (~100 ns class) and a per-socket bandwidth ceiling -- without
+ * simulating banks/rows, which the paper does not vary.
+ *
+ * The DRAM optionally fronts a BackingStore so accesses move real bytes.
+ */
+
+#ifndef TF_MEM_DRAM_HH
+#define TF_MEM_DRAM_HH
+
+#include <functional>
+
+#include "mem/backing_store.hh"
+#include "mem/transaction.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace tf::mem {
+
+struct DramParams
+{
+    /** Fixed access (CAS-to-data) latency. */
+    sim::Tick accessLatency = sim::nanoseconds(90);
+    /** Sustained channel bandwidth, bytes per second. */
+    double bandwidthBps = 110e9; // AC922-class per-socket ballpark
+    /** Capacity, bytes (0 = unbounded). Checked, not enforced. */
+    std::uint64_t capacity = 0;
+};
+
+class Dram : public sim::SimObject
+{
+  public:
+    using DoneFn = std::function<void(TxnPtr)>;
+
+    Dram(std::string name, sim::EventQueue &eq, DramParams params,
+         BackingStore *store = nullptr);
+
+    /**
+     * Service a request transaction. The response (same object,
+     * type flipped) is delivered through @p done after the modelled
+     * delay. Functional data movement happens against the backing
+     * store, if one is attached.
+     */
+    void access(TxnPtr txn, DoneFn done);
+
+    /** Latency the next request would see if issued now (queue + access). */
+    sim::Tick estimatedLatency(std::uint32_t bytes) const;
+
+    const DramParams &params() const { return _params; }
+
+    std::uint64_t reads() const { return _reads.value(); }
+    std::uint64_t writes() const { return _writes.value(); }
+    std::uint64_t bytesMoved() const { return _bytes.value(); }
+
+    void reportStats(sim::StatSet &out) const;
+
+  private:
+    DramParams _params;
+    BackingStore *_store;
+    sim::Tick _nextFree = 0;
+    sim::Counter _reads;
+    sim::Counter _writes;
+    sim::Counter _bytes;
+
+    sim::Tick serializationDelay(std::uint32_t bytes) const;
+};
+
+} // namespace tf::mem
+
+#endif // TF_MEM_DRAM_HH

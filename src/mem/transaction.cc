@@ -1,0 +1,57 @@
+#include "mem/transaction.hh"
+
+#include <atomic>
+
+#include "sim/logging.hh"
+
+namespace tf::mem {
+
+namespace {
+std::atomic<std::uint64_t> g_nextTxnId{1};
+} // namespace
+
+void
+MemTxn::makeResponse()
+{
+    TF_ASSERT(isRequest(type), "makeResponse on a response");
+    type = responseFor(type);
+}
+
+void
+MemTxn::complete()
+{
+    if (onComplete) {
+        auto cb = std::move(onComplete);
+        onComplete = nullptr;
+        cb(*this);
+    }
+}
+
+TxnPtr
+makeTxn(TxnType type, Addr addr, std::uint32_t size)
+{
+    auto txn = std::make_shared<MemTxn>();
+    txn->id = g_nextTxnId.fetch_add(1, std::memory_order_relaxed);
+    txn->type = type;
+    txn->addr = addr;
+    txn->origAddr = addr;
+    txn->size = size;
+    return txn;
+}
+
+std::uint32_t
+flitCount(const MemTxn &txn)
+{
+    // The LLC datapath is 32B wide; flits are 32B. A transaction is a
+    // header flit plus the payload for data-bearing transactions.
+    // Write requests and read responses carry the cacheline; read
+    // requests and write responses are header-only.
+    constexpr std::uint32_t flitBytes = 32;
+    bool carries_data = txn.type == TxnType::WriteReq ||
+                        txn.type == TxnType::ReadResp;
+    std::uint32_t payload_flits =
+        carries_data ? (txn.size + flitBytes - 1) / flitBytes : 0;
+    return 1 + payload_flits;
+}
+
+} // namespace tf::mem

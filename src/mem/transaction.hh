@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Memory transactions.
+ *
+ * A MemTxn models one bus-level load/store: a 128-byte cacheline read or
+ * write, as issued by the POWER9 onto the OpenCAPI port. Transactions
+ * flow from the host bus through the ThymesisFlow compute endpoint
+ * (where the RMMU rewrites the address and attaches a network ID),
+ * across the network stack, and into the memory-stealing endpoint which
+ * masters them into donor memory. Responses retrace the arrival channel.
+ */
+
+#ifndef TF_MEM_TRANSACTION_HH
+#define TF_MEM_TRANSACTION_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/ticks.hh"
+
+namespace tf::mem {
+
+enum class TxnType : std::uint8_t {
+    ReadReq,
+    WriteReq,
+    ReadResp,
+    WriteResp,
+};
+
+/** True for the two request types. */
+constexpr bool
+isRequest(TxnType t)
+{
+    return t == TxnType::ReadReq || t == TxnType::WriteReq;
+}
+
+/** Matching response type for a request. */
+constexpr TxnType
+responseFor(TxnType t)
+{
+    return t == TxnType::ReadReq ? TxnType::ReadResp : TxnType::WriteResp;
+}
+
+/** Identifier carried by routing headers; selects an active flow. */
+using NetworkId = std::uint16_t;
+constexpr NetworkId invalidNetworkId = 0xffff;
+
+struct MemTxn;
+using TxnPtr = std::shared_ptr<MemTxn>;
+
+/**
+ * One in-flight memory transaction.
+ *
+ * The address field is rewritten as the transaction moves through the
+ * stack (Fig. 3 of the paper): effective -> real (host MMU), real ->
+ * device-internal (OpenCAPI window), device-internal -> remote
+ * effective (RMMU). Each stage overwrites @c addr; @c origAddr keeps
+ * the address as first seen by the compute endpoint for bookkeeping.
+ */
+struct MemTxn
+{
+    std::uint64_t id = 0;
+    TxnType type = TxnType::ReadReq;
+    Addr addr = 0;
+    Addr origAddr = 0;
+    std::uint32_t size = cachelineBytes;
+
+    /** Routing header fields (attached by the RMMU). */
+    NetworkId networkId = invalidNetworkId;
+    bool bonded = false;
+
+    /** Channel the request arrived on; responses retrace it. */
+    int arrivalChannel = -1;
+
+    /** Set when the access failed (RMMU fault, C1 authorisation). */
+    bool error = false;
+
+    /** Issue time at the original requester, for latency stats. */
+    sim::Tick issued = 0;
+
+    /** Functional payload (writes carry data; read responses fill it). */
+    std::vector<std::uint8_t> data;
+
+    /** Completion callback, invoked exactly once at the requester. */
+    std::function<void(MemTxn &)> onComplete;
+
+    bool isRead() const { return type == TxnType::ReadReq ||
+                                 type == TxnType::ReadResp; }
+    bool isWrite() const { return !isRead(); }
+
+    /** Flip a request into its response in place. */
+    void makeResponse();
+
+    /** Invoke and clear the completion callback. */
+    void complete();
+};
+
+/** Allocate a fresh transaction with a process-unique id. */
+TxnPtr makeTxn(TxnType type, Addr addr, std::uint32_t size = cachelineBytes);
+
+/** Number of 32-byte flits a transaction occupies on the link. */
+std::uint32_t flitCount(const MemTxn &txn);
+
+} // namespace tf::mem
+
+#endif // TF_MEM_TRANSACTION_HH

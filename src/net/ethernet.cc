@@ -1,0 +1,91 @@
+#include "net/ethernet.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tf::net {
+
+EthLink::EthLink(std::string name, sim::EventQueue &eq, EthParams params)
+    : SimObject(std::move(name), eq), _params(params)
+{
+}
+
+sim::Tick
+EthLink::estimate(std::uint64_t bytes) const
+{
+    sim::Tick ser = sim::seconds(static_cast<double>(bytes) /
+                                 _params.bandwidthBps);
+    sim::Tick queue = _nextFree > now() ? _nextFree - now() : 0;
+    return queue + ser + _params.perMessageOverhead + _params.latency;
+}
+
+void
+EthLink::send(std::uint64_t bytes, std::function<void()> delivered)
+{
+    sim::Tick ser = sim::seconds(static_cast<double>(bytes) /
+                                 _params.bandwidthBps) +
+                    _params.perMessageOverhead;
+    sim::Tick start = std::max(now(), _nextFree);
+    _nextFree = start + ser;
+    _messages.inc();
+    _bytes.inc(bytes);
+    sim::Tick deliver = start + ser + _params.latency;
+    after(deliver - now(), std::move(delivered));
+}
+
+Network::Network(std::string name, sim::EventQueue &eq)
+    : _name(std::move(name)), _eq(eq)
+{
+}
+
+void
+Network::connect(const std::string &a, const std::string &b,
+                 EthParams params)
+{
+    _links[a + "->" + b] = std::make_unique<EthLink>(
+        _name + "." + a + "->" + b, _eq, params);
+    _links[b + "->" + a] = std::make_unique<EthLink>(
+        _name + "." + b + "->" + a, _eq, params);
+}
+
+bool
+Network::connected(const std::string &a, const std::string &b) const
+{
+    return _links.count(a + "->" + b) > 0;
+}
+
+EthLink *
+Network::link(const std::string &src, const std::string &dst)
+{
+    auto it = _links.find(src + "->" + dst);
+    return it == _links.end() ? nullptr : it->second.get();
+}
+
+const EthLink *
+Network::link(const std::string &src, const std::string &dst) const
+{
+    return const_cast<Network *>(this)->link(src, dst);
+}
+
+void
+Network::send(const std::string &src, const std::string &dst,
+              std::uint64_t bytes, std::function<void()> delivered)
+{
+    EthLink *l = link(src, dst);
+    TF_ASSERT(l != nullptr, "no link %s -> %s", src.c_str(),
+              dst.c_str());
+    l->send(bytes, std::move(delivered));
+}
+
+sim::Tick
+Network::estimate(const std::string &src, const std::string &dst,
+                  std::uint64_t bytes) const
+{
+    const EthLink *l = link(src, dst);
+    TF_ASSERT(l != nullptr, "no link %s -> %s", src.c_str(),
+              dst.c_str());
+    return l->estimate(bytes);
+}
+
+} // namespace tf::net

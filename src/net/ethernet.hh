@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Message-level Ethernet model for client traffic and scale-out.
+ *
+ * The paper's testbed wires the client machine to the servers over
+ * 10 Gb/s Ethernet and, in the scale-out configuration, the two
+ * servers to each other over 100 Gb/s Ethernet (Section VI-A). App
+ * models exchange whole request/response messages; the link charges
+ * serialisation at line rate plus a fixed one-way latency (switch +
+ * kernel network stack), which is what makes scale-out's extra
+ * network hops expensive relative to ld/st disaggregation.
+ */
+
+#ifndef TF_NET_ETHERNET_HH
+#define TF_NET_ETHERNET_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace tf::net {
+
+struct EthParams
+{
+    /** Line rate, bytes per second. */
+    double bandwidthBps = 10e9 / 8;
+    /**
+     * Fixed one-way message latency: NIC + switch + kernel stack.
+     * The paper's Memcached local round trip is ~600 us dominated by
+     * software; we charge the network-stack share here.
+     */
+    sim::Tick latency = sim::microseconds(25);
+    /** Per-message CPU/NIC overhead added to serialisation. */
+    sim::Tick perMessageOverhead = sim::microseconds(2);
+
+    static EthParams
+    tenGig()
+    {
+        return EthParams{10e9 / 8, sim::microseconds(25),
+                         sim::microseconds(2)};
+    }
+
+    static EthParams
+    hundredGig()
+    {
+        return EthParams{100e9 / 8, sim::microseconds(15),
+                         sim::microseconds(1)};
+    }
+};
+
+/** One unidirectional link: serialisation + fixed latency. */
+class EthLink : public sim::SimObject
+{
+  public:
+    EthLink(std::string name, sim::EventQueue &eq, EthParams params);
+
+    /** Deliver @p bytes to the far end; @p delivered runs on arrival. */
+    void send(std::uint64_t bytes, std::function<void()> delivered);
+
+    std::uint64_t messages() const { return _messages.value(); }
+    std::uint64_t bytesSent() const { return _bytes.value(); }
+
+    /** Queueing + serialisation + latency a message would see now. */
+    sim::Tick estimate(std::uint64_t bytes) const;
+
+  private:
+    EthParams _params;
+    sim::Tick _nextFree = 0;
+    sim::Counter _messages;
+    sim::Counter _bytes;
+};
+
+/**
+ * A set of named endpoints with full-duplex links between pairs.
+ * Apps address messages by endpoint name.
+ */
+class Network
+{
+  public:
+    Network(std::string name, sim::EventQueue &eq);
+
+    /** Create a full-duplex link between two endpoints. */
+    void connect(const std::string &a, const std::string &b,
+                 EthParams params);
+
+    bool connected(const std::string &a, const std::string &b) const;
+
+    /**
+     * Send @p bytes from @p src to @p dst; @p delivered runs at the
+     * destination after the one-way cost.
+     */
+    void send(const std::string &src, const std::string &dst,
+              std::uint64_t bytes, std::function<void()> delivered);
+
+    /** Current one-way estimate (for schedulers / diagnostics). */
+    sim::Tick estimate(const std::string &src, const std::string &dst,
+                       std::uint64_t bytes) const;
+
+  private:
+    std::string _name;
+    sim::EventQueue &_eq;
+    // key: "src->dst" directed.
+    std::map<std::string, std::unique_ptr<EthLink>> _links;
+
+    EthLink *link(const std::string &src, const std::string &dst);
+    const EthLink *link(const std::string &src,
+                        const std::string &dst) const;
+};
+
+} // namespace tf::net
+
+#endif // TF_NET_ETHERNET_HH

@@ -1,0 +1,47 @@
+#include "opencapi/c1_master.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tf::ocapi {
+
+C1Master::C1Master(std::string name, sim::EventQueue &eq, C1Params params,
+                   PasidRegistry &pasids, mem::Dram &hostDram)
+    : SimObject(std::move(name), eq), _params(params), _pasids(pasids),
+      _dram(hostDram)
+{
+}
+
+void
+C1Master::master(Pasid pasid, mem::TxnPtr txn, DoneFn done)
+{
+    TF_ASSERT(mem::isRequest(txn->type), "C1 master got a response");
+
+    if (!_pasids.authorised(pasid, txn->addr, txn->size)) {
+        _faults.inc();
+        sim::warn("%s: C1 fault: pasid %u addr %#llx size %u",
+                  name().c_str(), pasid,
+                  (unsigned long long)txn->addr, txn->size);
+        txn->makeResponse();
+        txn->data.clear();
+        txn->error = true;
+        done(std::move(txn));
+        return;
+    }
+
+    _txns.inc();
+    // C1 command pipeline: per-txn overhead + payload serialisation.
+    double ser_secs =
+        static_cast<double>(txn->size) / _params.rawBandwidthBps;
+    sim::Tick service = _params.perTxnOverhead + sim::seconds(ser_secs);
+    sim::Tick start = std::max(now(), _nextFree);
+    _nextFree = start + service;
+
+    after(_nextFree - now(),
+          [this, txn = std::move(txn), done = std::move(done)]() mutable {
+              _dram.access(std::move(txn), std::move(done));
+          });
+}
+
+} // namespace tf::ocapi

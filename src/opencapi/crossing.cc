@@ -1,0 +1,43 @@
+#include "opencapi/crossing.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tf::ocapi {
+
+CrossingStage::CrossingStage(std::string name, sim::EventQueue &eq,
+                             CrossingParams params)
+    : SimObject(std::move(name), eq), _params(params)
+{
+}
+
+std::uint32_t
+CrossingStage::wireBytes(const mem::MemTxn &txn)
+{
+    return mem::flitCount(txn) * 32;
+}
+
+void
+CrossingStage::push(mem::TxnPtr txn)
+{
+    TF_ASSERT(_out != nullptr, "%s: crossing stage not connected",
+              name().c_str());
+
+    sim::Tick ser = 0;
+    if (_params.bandwidthBps > 0) {
+        double secs = static_cast<double>(wireBytes(*txn)) /
+                      _params.bandwidthBps;
+        ser = sim::seconds(secs);
+    }
+    sim::Tick start = std::max(now(), _nextFree);
+    _nextFree = start + ser;
+    sim::Tick deliver = start + ser + _params.latency;
+
+    _items.inc();
+    after(deliver - now(), [this, txn = std::move(txn)]() mutable {
+        _out(std::move(txn));
+    });
+}
+
+} // namespace tf::ocapi

@@ -1,0 +1,81 @@
+#include "opencapi/pasid.hh"
+
+#include <algorithm>
+
+namespace tf::ocapi {
+
+Pasid
+PasidRegistry::allocate()
+{
+    Pasid p = _next++;
+    _live.push_back(p);
+    return p;
+}
+
+bool
+PasidRegistry::registerRegion(Pasid pasid, mem::Addr base,
+                              std::uint64_t size)
+{
+    if (std::find(_live.begin(), _live.end(), pasid) == _live.end())
+        return false;
+    if (size == 0)
+        return false;
+
+    // Overlap check against neighbours in the ordered map.
+    auto next = _regions.lower_bound(base);
+    if (next != _regions.end() && base + size > next->second.base)
+        return false;
+    if (next != _regions.begin()) {
+        auto prev = std::prev(next);
+        if (prev->second.base + prev->second.size > base)
+            return false;
+    }
+
+    _regions.emplace(base, PinnedRegion{pasid, base, size});
+    return true;
+}
+
+bool
+PasidRegistry::unregisterRegion(Pasid pasid, mem::Addr base)
+{
+    auto it = _regions.find(base);
+    if (it == _regions.end() || it->second.pasid != pasid)
+        return false;
+    _regions.erase(it);
+    return true;
+}
+
+void
+PasidRegistry::release(Pasid pasid)
+{
+    for (auto it = _regions.begin(); it != _regions.end();) {
+        if (it->second.pasid == pasid)
+            it = _regions.erase(it);
+        else
+            ++it;
+    }
+    _live.erase(std::remove(_live.begin(), _live.end(), pasid),
+                _live.end());
+}
+
+std::optional<PinnedRegion>
+PasidRegistry::lookup(mem::Addr addr, std::uint64_t len) const
+{
+    auto it = _regions.upper_bound(addr);
+    if (it == _regions.begin())
+        return std::nullopt;
+    --it;
+    if (it->second.contains(addr, len))
+        return it->second;
+    return std::nullopt;
+}
+
+bool
+PasidRegistry::authorised(Pasid pasid, mem::Addr addr,
+                          std::uint64_t len) const
+{
+    auto region = lookup(addr, len);
+    return region && region->pasid == pasid;
+}
+
+} // namespace tf::ocapi

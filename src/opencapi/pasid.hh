@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Process Address Space ID registry.
+ *
+ * The memory-stealing process pins donor memory and registers its PASID
+ * with the endpoint hardware (Section IV-A2); the C1-mode master may
+ * then issue cache-coherent transactions only into effective-address
+ * regions registered under a valid PASID.
+ */
+
+#ifndef TF_OCAPI_PASID_HH
+#define TF_OCAPI_PASID_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mem/addr.hh"
+
+namespace tf::ocapi {
+
+using Pasid = std::uint32_t;
+constexpr Pasid invalidPasid = 0;
+
+/** One pinned effective-address region owned by a PASID. */
+struct PinnedRegion
+{
+    Pasid pasid = invalidPasid;
+    mem::Addr base = 0;
+    std::uint64_t size = 0;
+
+    bool
+    contains(mem::Addr addr, std::uint64_t len) const
+    {
+        return addr >= base && addr + len <= base + size;
+    }
+};
+
+class PasidRegistry
+{
+  public:
+    /** Allocate a fresh PASID. */
+    Pasid allocate();
+
+    /**
+     * Register a pinned region under @p pasid.
+     * @return false if the pasid is unknown or the region overlaps an
+     *         existing registration.
+     */
+    bool registerRegion(Pasid pasid, mem::Addr base, std::uint64_t size);
+
+    /** Drop one region (exact base match). */
+    bool unregisterRegion(Pasid pasid, mem::Addr base);
+
+    /** Release a PASID and all its regions. */
+    void release(Pasid pasid);
+
+    /** Find the region covering [addr, addr+len), if any. */
+    std::optional<PinnedRegion> lookup(mem::Addr addr,
+                                       std::uint64_t len) const;
+
+    /** True if the access is covered by a region of this pasid. */
+    bool authorised(Pasid pasid, mem::Addr addr, std::uint64_t len) const;
+
+    std::size_t regionCount() const { return _regions.size(); }
+
+  private:
+    Pasid _next = 1;
+    std::vector<Pasid> _live;
+    // key: region base address; regions are non-overlapping.
+    std::map<mem::Addr, PinnedRegion> _regions;
+};
+
+} // namespace tf::ocapi
+
+#endif // TF_OCAPI_PASID_HH

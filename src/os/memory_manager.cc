@@ -1,0 +1,240 @@
+#include "os/memory_manager.hh"
+
+#include <algorithm>
+
+namespace tf::os {
+
+MemoryManager::MemoryManager(NumaTopology &topo,
+                             std::uint64_t sectionBytes,
+                             std::uint64_t pageBytes)
+    : _topo(topo), _sectionBytes(sectionBytes), _pageBytes(pageBytes)
+{
+    TF_ASSERT(sectionBytes % pageBytes == 0,
+              "section must be a whole number of pages");
+}
+
+void
+MemoryManager::ensureNode(NodeId node)
+{
+    TF_ASSERT(node >= 0 &&
+                  static_cast<std::size_t>(node) < _topo.nodeCount(),
+              "unknown node %d", node);
+    if (_freeLists.size() < _topo.nodeCount()) {
+        _freeLists.resize(_topo.nodeCount());
+        _totalPages.resize(_topo.nodeCount(), 0);
+    }
+}
+
+Section *
+MemoryManager::sectionOf(mem::Addr addr)
+{
+    auto it = _sections.upper_bound(addr);
+    if (it == _sections.begin())
+        return nullptr;
+    --it;
+    if (addr < it->second.base + _sectionBytes)
+        return &it->second;
+    return nullptr;
+}
+
+const Section *
+MemoryManager::sectionOf(mem::Addr addr) const
+{
+    return const_cast<MemoryManager *>(this)->sectionOf(addr);
+}
+
+bool
+MemoryManager::onlineSection(NodeId node, mem::Addr base)
+{
+    ensureNode(node);
+    if (!mem::isAligned(base, _sectionBytes))
+        return false;
+    if (_sections.count(base) && _sections[base].online)
+        return false;
+
+    Section &s = _sections[base];
+    s.base = base;
+    s.node = node;
+    s.online = true;
+    s.pagesInUse = 0;
+
+    std::uint64_t pages = _sectionBytes / _pageBytes;
+    auto &fl = _freeLists[static_cast<std::size_t>(node)];
+    for (std::uint64_t i = 0; i < pages; ++i)
+        fl.push_back(base + i * _pageBytes);
+    _totalPages[static_cast<std::size_t>(node)] += pages;
+    return true;
+}
+
+bool
+MemoryManager::offlineSection(mem::Addr base)
+{
+    auto it = _sections.find(base);
+    if (it == _sections.end() || !it->second.online)
+        return false;
+    Section &s = it->second;
+    if (s.pagesInUse > 0)
+        return false; // pages must be migrated away first
+
+    // Pull the section's pages out of the node free list.
+    auto &fl = _freeLists[static_cast<std::size_t>(s.node)];
+    std::uint64_t pages = _sectionBytes / _pageBytes;
+    fl.erase(std::remove_if(fl.begin(), fl.end(),
+                            [&](mem::Addr p) {
+                                return p >= base &&
+                                       p < base + _sectionBytes;
+                            }),
+             fl.end());
+    _totalPages[static_cast<std::size_t>(s.node)] -= pages;
+    _sections.erase(it);
+    return true;
+}
+
+bool
+MemoryManager::isOnline(mem::Addr base) const
+{
+    auto it = _sections.find(base);
+    return it != _sections.end() && it->second.online;
+}
+
+std::optional<mem::Addr>
+MemoryManager::allocPageOn(NodeId node)
+{
+    if (node < 0 ||
+        static_cast<std::size_t>(node) >= _freeLists.size())
+        return std::nullopt;
+    auto &fl = _freeLists[static_cast<std::size_t>(node)];
+    if (fl.empty())
+        return std::nullopt;
+    mem::Addr page = fl.front();
+    fl.pop_front();
+    Section *s = sectionOf(page);
+    TF_ASSERT(s != nullptr, "free page outside any section");
+    ++s->pagesInUse;
+    return page;
+}
+
+std::optional<mem::Addr>
+MemoryManager::allocPage(AllocPolicy &policy, NodeId homeNode)
+{
+    switch (policy.mode) {
+      case AllocPolicy::Mode::Local: {
+        // Local first, then closest node with free memory.
+        for (NodeId n : _topo.byDistance(homeNode)) {
+            if (auto page = allocPageOn(n))
+                return page;
+        }
+        return std::nullopt;
+      }
+      case AllocPolicy::Mode::Interleave: {
+        TF_ASSERT(!policy.nodes.empty(), "interleave over no nodes");
+        // Strict round-robin; skip exhausted nodes.
+        for (std::size_t i = 0; i < policy.nodes.size(); ++i) {
+            NodeId n = policy.nodes[policy.cursor %
+                                    policy.nodes.size()];
+            ++policy.cursor;
+            if (auto page = allocPageOn(n))
+                return page;
+        }
+        return std::nullopt;
+      }
+      case AllocPolicy::Mode::Preferred: {
+        TF_ASSERT(!policy.nodes.empty(), "no preferred node");
+        if (auto page = allocPageOn(policy.nodes.front()))
+            return page;
+        for (NodeId n : _topo.byDistance(policy.nodes.front())) {
+            if (auto page = allocPageOn(n))
+                return page;
+        }
+        return std::nullopt;
+      }
+      case AllocPolicy::Mode::Bind: {
+        for (NodeId n : policy.nodes) {
+            if (auto page = allocPageOn(n))
+                return page;
+        }
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+}
+
+void
+MemoryManager::freePage(mem::Addr page)
+{
+    Section *s = sectionOf(page);
+    TF_ASSERT(s != nullptr && s->online, "freeing an unmanaged page");
+    TF_ASSERT(s->pagesInUse > 0, "double free in section");
+    --s->pagesInUse;
+    _freeLists[static_cast<std::size_t>(s->node)].push_back(page);
+}
+
+std::optional<mem::Addr>
+MemoryManager::claimWholeSection(NodeId node)
+{
+    for (auto &[base, s] : _sections) {
+        if (s.node != node || !s.online || s.pagesInUse != 0)
+            continue;
+        auto &fl = _freeLists[static_cast<std::size_t>(node)];
+        fl.erase(std::remove_if(fl.begin(), fl.end(),
+                                [&, b = base](mem::Addr p) {
+                                    return p >= b &&
+                                           p < b + _sectionBytes;
+                                }),
+                 fl.end());
+        s.pagesInUse = _sectionBytes / _pageBytes;
+        return base;
+    }
+    return std::nullopt;
+}
+
+void
+MemoryManager::releaseWholeSection(mem::Addr base)
+{
+    auto it = _sections.find(base);
+    TF_ASSERT(it != _sections.end() && it->second.online,
+              "releasing an unknown section");
+    Section &s = it->second;
+    TF_ASSERT(s.pagesInUse == _sectionBytes / _pageBytes,
+              "section was not fully claimed");
+    s.pagesInUse = 0;
+    auto &fl = _freeLists[static_cast<std::size_t>(s.node)];
+    for (std::uint64_t i = 0; i < _sectionBytes / _pageBytes; ++i)
+        fl.push_back(base + i * _pageBytes);
+}
+
+NodeId
+MemoryManager::nodeOf(mem::Addr addr) const
+{
+    const Section *s = sectionOf(addr);
+    return s ? s->node : invalidNode;
+}
+
+std::uint64_t
+MemoryManager::freePages(NodeId node) const
+{
+    if (node < 0 ||
+        static_cast<std::size_t>(node) >= _freeLists.size())
+        return 0;
+    return _freeLists[static_cast<std::size_t>(node)].size();
+}
+
+std::uint64_t
+MemoryManager::totalPages(NodeId node) const
+{
+    if (node < 0 ||
+        static_cast<std::size_t>(node) >= _totalPages.size())
+        return 0;
+    return _totalPages[static_cast<std::size_t>(node)];
+}
+
+std::size_t
+MemoryManager::onlineSections() const
+{
+    std::size_t n = 0;
+    for (const auto &[base, s] : _sections)
+        n += s.online;
+    return n;
+}
+
+} // namespace tf::os

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Sparse-memory-model page frame allocator with memory hotplug
+ * (Section IV-B).
+ *
+ * The kernel divides the physical address space into fixed-size
+ * aligned sections, each independently handled and hot-pluggable at
+ * runtime. The ThymesisFlow agent probes and onlines a section once
+ * the compute endpoint has been configured for it; offline requires
+ * all of the section's pages to be free (or migrated away first).
+ */
+
+#ifndef TF_OS_MEMORY_MANAGER_HH
+#define TF_OS_MEMORY_MANAGER_HH
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "os/numa.hh"
+#include "sim/stats.hh"
+
+namespace tf::os {
+
+/** One hotplugged (or boot) memory section. */
+struct Section
+{
+    mem::Addr base = 0;
+    NodeId node = invalidNode;
+    bool online = false;
+    std::uint64_t pagesInUse = 0;
+};
+
+class MemoryManager
+{
+  public:
+    MemoryManager(NumaTopology &topo,
+                  std::uint64_t sectionBytes = mem::sectionBytes,
+                  std::uint64_t pageBytes = mem::pageBytes);
+
+    std::uint64_t sectionBytes() const { return _sectionBytes; }
+    std::uint64_t pageBytes() const { return _pageBytes; }
+
+    /**
+     * Online a section at physical @p base into NUMA node @p node
+     * (memory hotplug "probe + online"). Base must be section-aligned
+     * and not already online.
+     */
+    bool onlineSection(NodeId node, mem::Addr base);
+
+    /**
+     * Offline the section at @p base. Fails when any page is in use
+     * (callers migrate pages away first).
+     */
+    bool offlineSection(mem::Addr base);
+
+    bool isOnline(mem::Addr base) const;
+
+    /** Allocate one page frame under @p policy for @p homeNode. */
+    std::optional<mem::Addr> allocPage(AllocPolicy &policy,
+                                       NodeId homeNode);
+
+    /** Allocate one page frame on a specific node. */
+    std::optional<mem::Addr> allocPageOn(NodeId node);
+
+    /** Return a page frame to its node's free list. */
+    void freePage(mem::Addr page);
+
+    /**
+     * Claim one entirely-free online section on @p node (all of its
+     * pages leave the free list). Used by the memory-stealing agent,
+     * which must pin physically contiguous section-sized ranges.
+     * @return the section base, or nullopt if none is fully free.
+     */
+    std::optional<mem::Addr> claimWholeSection(NodeId node);
+
+    /** Release a section claimed with claimWholeSection(). */
+    void releaseWholeSection(mem::Addr base);
+
+    /** NUMA node owning a physical address (invalidNode if unknown). */
+    NodeId nodeOf(mem::Addr addr) const;
+
+    std::uint64_t freePages(NodeId node) const;
+    std::uint64_t totalPages(NodeId node) const;
+    std::size_t onlineSections() const;
+
+    const NumaTopology &topology() const { return _topo; }
+
+  private:
+    NumaTopology &_topo;
+    std::uint64_t _sectionBytes;
+    std::uint64_t _pageBytes;
+    std::map<mem::Addr, Section> _sections; // by base address
+    std::vector<std::deque<mem::Addr>> _freeLists; // per node
+    std::vector<std::uint64_t> _totalPages;        // per node
+
+    void ensureNode(NodeId node);
+    Section *sectionOf(mem::Addr addr);
+    const Section *sectionOf(mem::Addr addr) const;
+};
+
+} // namespace tf::os
+
+#endif // TF_OS_MEMORY_MANAGER_HH

@@ -1,0 +1,91 @@
+#include "os/migration.hh"
+
+#include <algorithm>
+
+namespace tf::os {
+
+AutoNuma::AutoNuma(MemoryManager &mm, AutoNumaParams params)
+    : _mm(mm), _params(params)
+{
+}
+
+std::uint64_t
+AutoNuma::key(const AddressSpace &space, mem::Addr vaddr) const
+{
+    auto sp = reinterpret_cast<std::uintptr_t>(&space);
+    std::uint64_t vpn = vaddr / _mm.pageBytes();
+    return (static_cast<std::uint64_t>(sp) * 0x9e3779b97f4a7c15ULL) ^
+           vpn;
+}
+
+void
+AutoNuma::recordAccess(AddressSpace &space, mem::Addr vaddr,
+                       NodeId cpuNode)
+{
+    mem::Addr page_va = mem::alignDown(vaddr, _mm.pageBytes());
+    auto &h = _heat[key(space, page_va)];
+    if (h.count == 0) {
+        h.space = &space;
+        h.vaddr = page_va;
+    }
+    h.accessor = cpuNode;
+    ++h.count;
+}
+
+bool
+AutoNuma::nodeHasHeadroom(NodeId node) const
+{
+    std::uint64_t total = _mm.totalPages(node);
+    if (total == 0)
+        return false;
+    double free_frac = static_cast<double>(_mm.freePages(node)) /
+                       static_cast<double>(total);
+    return free_frac > _params.freeReserve;
+}
+
+std::vector<Migration>
+AutoNuma::scan()
+{
+    // Collect hot pages living further from their accessor than the
+    // accessor's own node.
+    std::vector<PageHeat *> candidates;
+    for (auto &[k, h] : _heat) {
+        if (h.count < _params.hotThreshold)
+            continue;
+        NodeId cur = h.space->nodeOf(h.vaddr);
+        if (cur == invalidNode || h.accessor == invalidNode)
+            continue;
+        if (_mm.topology().distance(h.accessor, cur) >
+            _mm.topology().distance(h.accessor, h.accessor))
+            candidates.push_back(&h);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const PageHeat *a, const PageHeat *b) {
+                  return a->count > b->count;
+              });
+
+    std::vector<Migration> done;
+    for (PageHeat *h : candidates) {
+        if (done.size() >= _params.maxMigrationsPerScan)
+            break;
+        NodeId target = h->accessor;
+        if (!nodeHasHeadroom(target)) {
+            _failed.inc();
+            continue;
+        }
+        auto frame = _mm.allocPageOn(target);
+        if (!frame) {
+            _failed.inc();
+            continue;
+        }
+        NodeId from = h->space->nodeOf(h->vaddr);
+        h->space->remap(h->vaddr, *frame);
+        _migrations.inc();
+        done.push_back(Migration{h->vaddr, from, target});
+    }
+
+    _heat.clear(); // sliding window: fresh counts each scan
+    return done;
+}
+
+} // namespace tf::os

@@ -1,0 +1,63 @@
+#include "os/numa.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tf::os {
+
+NodeId
+NumaTopology::addNode(std::string name, bool hasCpu)
+{
+    NodeId id = static_cast<NodeId>(_nodes.size());
+    _nodes.push_back(Node{std::move(name), hasCpu});
+    for (auto &row : _dist)
+        row.push_back(255);
+    _dist.emplace_back(_nodes.size(), 255);
+    _dist[static_cast<std::size_t>(id)][static_cast<std::size_t>(id)] =
+        10;
+    return id;
+}
+
+void
+NumaTopology::setDistance(NodeId a, NodeId b, int distance)
+{
+    node(a);
+    node(b);
+    TF_ASSERT(distance >= 10, "NUMA distances start at 10");
+    _dist[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+        distance;
+    _dist[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] =
+        distance;
+}
+
+int
+NumaTopology::distance(NodeId a, NodeId b) const
+{
+    node(a);
+    node(b);
+    return _dist[static_cast<std::size_t>(a)]
+                [static_cast<std::size_t>(b)];
+}
+
+std::vector<NodeId>
+NumaTopology::byDistance(NodeId from) const
+{
+    std::vector<NodeId> ids(_nodes.size());
+    std::iota(ids.begin(), ids.end(), 0);
+    std::stable_sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+        return distance(from, a) < distance(from, b);
+    });
+    return ids;
+}
+
+std::vector<NodeId>
+NumaTopology::cpulessNodes() const
+{
+    std::vector<NodeId> out;
+    for (std::size_t i = 0; i < _nodes.size(); ++i)
+        if (!_nodes[i].hasCpu)
+            out.push_back(static_cast<NodeId>(i));
+    return out;
+}
+
+} // namespace tf::os

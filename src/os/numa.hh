@@ -1,0 +1,102 @@
+/**
+ * @file
+ * NUMA topology with CPU-less nodes (Section IV-B).
+ *
+ * At hotplug time each disaggregated memory section is mapped to a
+ * CPU-less NUMA node whose distance reflects the transaction RTT
+ * between the compute and memory-stealing endpoints; the kernel's
+ * existing NUMA policies (local, interleave, preferred) and page
+ * migration then work unmodified on top.
+ */
+
+#ifndef TF_OS_NUMA_HH
+#define TF_OS_NUMA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tf::os {
+
+using NodeId = int;
+constexpr NodeId invalidNode = -1;
+
+class NumaTopology
+{
+  public:
+    /** Create a node; returns its id (dense, starting at 0). */
+    NodeId addNode(std::string name, bool hasCpu);
+
+    std::size_t nodeCount() const { return _nodes.size(); }
+    bool hasCpu(NodeId n) const { return node(n).hasCpu; }
+    const std::string &name(NodeId n) const { return node(n).name; }
+
+    /** Symmetric ACPI-SLIT-style distance (10 = local). */
+    void setDistance(NodeId a, NodeId b, int distance);
+    int distance(NodeId a, NodeId b) const;
+
+    /** Nodes sorted by distance from @p from (closest first). */
+    std::vector<NodeId> byDistance(NodeId from) const;
+
+    /** All CPU-less nodes (disaggregated memory lives here). */
+    std::vector<NodeId> cpulessNodes() const;
+
+  private:
+    struct Node
+    {
+        std::string name;
+        bool hasCpu;
+    };
+
+    const Node &
+    node(NodeId n) const
+    {
+        TF_ASSERT(n >= 0 && static_cast<std::size_t>(n) < _nodes.size(),
+                  "bad node id %d", n);
+        return _nodes[static_cast<std::size_t>(n)];
+    }
+
+    std::vector<Node> _nodes;
+    std::vector<std::vector<int>> _dist;
+};
+
+/** Kernel page-allocation policy (mbind/set_mempolicy analogue). */
+struct AllocPolicy
+{
+    enum class Mode {
+        Local,      ///< allocate on the task's home node
+        Interleave, ///< round-robin across the given nodes
+        Preferred,  ///< try preferred node, fall back by distance
+        Bind,       ///< only the given nodes; fail otherwise
+    };
+
+    Mode mode = Mode::Local;
+    std::vector<NodeId> nodes; ///< meaning depends on mode
+    std::size_t cursor = 0;    ///< interleave round-robin state
+
+    static AllocPolicy local() { return {Mode::Local, {}, 0}; }
+
+    static AllocPolicy
+    interleave(std::vector<NodeId> ns)
+    {
+        return {Mode::Interleave, std::move(ns), 0};
+    }
+
+    static AllocPolicy
+    preferred(NodeId n)
+    {
+        return {Mode::Preferred, {n}, 0};
+    }
+
+    static AllocPolicy
+    bind(std::vector<NodeId> ns)
+    {
+        return {Mode::Bind, std::move(ns), 0};
+    }
+};
+
+} // namespace tf::os
+
+#endif // TF_OS_NUMA_HH

@@ -1,0 +1,93 @@
+#include "os/swap.hh"
+
+#include <algorithm>
+
+namespace tf::os {
+
+SwappingMemory::SwappingMemory(std::string name, sim::EventQueue &eq,
+                               SwapParams params, mem::Dram &localDram)
+    : SimObject(std::move(name), eq), _params(params), _dram(localDram)
+{
+    TF_ASSERT(_params.localPages > 0, "swap cache needs local pages");
+}
+
+void
+SwappingMemory::pageTransfer(std::function<void()> done)
+{
+    double secs =
+        static_cast<double>(_params.pageBytes) / _params.linkBps;
+    sim::Tick ser = sim::seconds(secs);
+    sim::Tick start = std::max(now(), _linkNextFree);
+    _linkNextFree = start + ser;
+    sim::Tick deliver = start + ser + _params.linkLatency;
+    after(deliver - now(), std::move(done));
+}
+
+void
+SwappingMemory::localAccess(mem::Addr vaddr, bool write,
+                            std::function<void()> done)
+{
+    auto txn = mem::makeTxn(write ? mem::TxnType::WriteReq
+                                  : mem::TxnType::ReadReq,
+                            vaddr);
+    if (write)
+        txn->data.assign(mem::cachelineBytes, 0);
+    _dram.access(std::move(txn),
+                 [done = std::move(done)](mem::TxnPtr) { done(); });
+}
+
+void
+SwappingMemory::access(mem::Addr vaddr, bool write,
+                       std::function<void()> done)
+{
+    std::uint64_t vpn = vaddr / _params.pageBytes;
+    auto it = _residentMap.find(vpn);
+    if (it != _residentMap.end()) {
+        // Minor path: refresh LRU, access local memory.
+        _resident.inc();
+        it->second->dirty = it->second->dirty || write;
+        _lru.splice(_lru.begin(), _lru, it->second);
+        localAccess(vaddr, write, std::move(done));
+        return;
+    }
+
+    // Major fault: trap, (possibly) evict, fetch, retry.
+    _faults.inc();
+    sim::Tick start = now();
+
+    bool evict_dirty = false;
+    if (_lru.size() >= _params.localPages) {
+        Frame victim = _lru.back();
+        _lru.pop_back();
+        _residentMap.erase(victim.vpn);
+        evict_dirty = victim.dirty;
+        if (evict_dirty)
+            _pageOuts.inc();
+    }
+    _lru.push_front(Frame{vpn, write});
+    _residentMap[vpn] = _lru.begin();
+
+    auto finish = [this, vaddr, write, start,
+                   done = std::move(done)]() mutable {
+        localAccess(vaddr, write,
+                    [this, start, done = std::move(done)]() {
+                        _faultUs.add(sim::toUs(now() - start));
+                        done();
+                    });
+    };
+
+    after(_params.faultHandlingCpu,
+          [this, evict_dirty, finish = std::move(finish)]() mutable {
+              if (evict_dirty) {
+                  // Page-out then page-in, serialised on the link.
+                  pageTransfer([this,
+                                finish = std::move(finish)]() mutable {
+                      pageTransfer(std::move(finish));
+                  });
+              } else {
+                  pageTransfer(std::move(finish));
+              }
+          });
+}
+
+} // namespace tf::os

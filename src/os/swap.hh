@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Page-fault-based remote memory — the software baseline
+ * (Section III, "remote memory" category: Lim et al., Infiniswap,
+ * Hotpot).
+ *
+ * These systems over-subscribe local memory and rely on an OS trap:
+ * an access to a non-resident page takes a page fault, the kernel
+ * evicts a victim page (writing it back if dirty) and fetches the
+ * whole page from a remote host over RDMA, then the access retries.
+ * ThymesisFlow's pitch is that byte-addressable ld/st access avoids
+ * the fault/trap cost, the page-granularity amplification and the
+ * thrashing cliff. This model lets the benchmarks quantify exactly
+ * that comparison.
+ */
+
+#ifndef TF_OS_SWAP_HH
+#define TF_OS_SWAP_HH
+
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "mem/dram.hh"
+#include "sim/sim_object.hh"
+
+namespace tf::os {
+
+struct SwapParams
+{
+    std::uint64_t pageBytes = 64 * 1024;
+    /** Pages that fit in local memory. */
+    std::uint64_t localPages = 1024;
+    /** Remote link (RDMA-class): bandwidth and one-way latency. */
+    double linkBps = 100e9 / 8;
+    sim::Tick linkLatency = sim::microseconds(1.5);
+    /** Trap + kernel page-fault handling CPU cost. */
+    sim::Tick faultHandlingCpu = sim::microseconds(4);
+};
+
+/**
+ * Local memory as a fully associative LRU cache of remote pages,
+ * with a fault-driven fetch/evict path. Accesses are cacheline
+ * granular like the rest of the simulator; resident accesses go to
+ * local DRAM, misses pay the full page-in (and possible page-out).
+ */
+class SwappingMemory : public sim::SimObject
+{
+  public:
+    SwappingMemory(std::string name, sim::EventQueue &eq,
+                   SwapParams params, mem::Dram &localDram);
+
+    /**
+     * Access one cacheline at @p vaddr; @p done runs when the access
+     * (including any page fault) completes.
+     */
+    void access(mem::Addr vaddr, bool write,
+                std::function<void()> done);
+
+    std::uint64_t minorAccesses() const { return _resident.value(); }
+    std::uint64_t majorFaults() const { return _faults.value(); }
+    std::uint64_t pageOuts() const { return _pageOuts.value(); }
+
+    /** Latency distribution of faulting accesses (us). */
+    const sim::SampleStat &faultLatencyUs() const { return _faultUs; }
+
+  private:
+    struct Frame
+    {
+        std::uint64_t vpn;
+        bool dirty;
+    };
+
+    SwapParams _params;
+    mem::Dram &_dram;
+    std::list<Frame> _lru; // front = most recent
+    std::unordered_map<std::uint64_t, std::list<Frame>::iterator>
+        _residentMap;
+    sim::Tick _linkNextFree = 0;
+    sim::Counter _resident;
+    sim::Counter _faults;
+    sim::Counter _pageOuts;
+    sim::SampleStat _faultUs;
+
+    /** Queue a whole-page transfer on the link; cb at completion. */
+    void pageTransfer(std::function<void()> done);
+    void localAccess(mem::Addr vaddr, bool write,
+                     std::function<void()> done);
+};
+
+} // namespace tf::os
+
+#endif // TF_OS_SWAP_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Clock domains.
+ *
+ * The ThymesisFlow prototype runs three mesochronous clock domains (one
+ * per transceiver group) at 401 MHz (Section V). A ClockDomain converts
+ * between cycles and ticks and aligns events to clock edges, optionally
+ * with a fixed phase offset to model mesochronous skew.
+ */
+
+#ifndef TF_SIM_CLOCK_DOMAIN_HH
+#define TF_SIM_CLOCK_DOMAIN_HH
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace tf::sim {
+
+class ClockDomain
+{
+  public:
+    /**
+     * @param freq_hz clock frequency in Hz.
+     * @param phase   fixed offset of the first edge, in ticks.
+     */
+    explicit ClockDomain(double freq_hz, Tick phase = 0)
+        : _period(static_cast<Tick>(1e12 / freq_hz)), _phase(phase)
+    {
+        TF_ASSERT(_period > 0, "frequency too high for tick resolution");
+    }
+
+    Tick period() const { return _period; }
+    Tick phase() const { return _phase; }
+    double frequencyHz() const { return 1e12 / static_cast<double>(_period); }
+
+    /** Duration of @p n cycles in ticks. */
+    Tick cycles(std::uint64_t n) const { return _period * n; }
+
+    /** First clock edge at or after @p t. */
+    Tick
+    nextEdge(Tick t) const
+    {
+        if (t <= _phase)
+            return _phase;
+        Tick since = t - _phase;
+        Tick rem = since % _period;
+        return rem == 0 ? t : t + (_period - rem);
+    }
+
+    /** Number of whole cycles elapsed at time @p t. */
+    std::uint64_t
+    cycleCount(Tick t) const
+    {
+        return t <= _phase ? 0 : (t - _phase) / _period;
+    }
+
+  private:
+    Tick _period;
+    Tick _phase;
+};
+
+/** The prototype's transceiver-group clock: 401 MHz. */
+inline ClockDomain
+prototypeClock(Tick phase = 0)
+{
+    return ClockDomain(401e6, phase);
+}
+
+} // namespace tf::sim
+
+#endif // TF_SIM_CLOCK_DOMAIN_HH

@@ -1,0 +1,62 @@
+#include "sim/event_queue.hh"
+
+namespace tf::sim {
+
+void
+EventQueue::deschedule(EventId id)
+{
+    _live.erase(id);
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t count = 0;
+    while (!_heap.empty()) {
+        const Entry &top = _heap.top();
+        if (top.when > limit)
+            break;
+        Entry e{top.when, top.prio, top.id,
+                std::move(const_cast<Entry &>(top).cb)};
+        _heap.pop();
+        if (_live.erase(e.id) == 0)
+            continue; // cancelled
+        TF_ASSERT(e.when >= _now, "time went backwards");
+        _now = e.when;
+        ++_executed;
+        ++count;
+        e.cb();
+    }
+    if (limit != maxTick && _now < limit)
+        _now = limit;
+    return count;
+}
+
+std::uint64_t
+EventQueue::runEvents(std::uint64_t maxEvents)
+{
+    std::uint64_t count = 0;
+    while (!_heap.empty() && count < maxEvents) {
+        Entry e{_heap.top().when, _heap.top().prio, _heap.top().id,
+                std::move(const_cast<Entry &>(_heap.top()).cb)};
+        _heap.pop();
+        if (_live.erase(e.id) == 0)
+            continue;
+        _now = e.when;
+        ++_executed;
+        ++count;
+        e.cb();
+    }
+    return count;
+}
+
+void
+EventQueue::warp(Tick when)
+{
+    TF_ASSERT(when >= _now, "warping into the past");
+    TF_ASSERT(_heap.empty() || _heap.top().when >= when,
+              "warping past scheduled events");
+    _now = when;
+}
+
+} // namespace tf::sim

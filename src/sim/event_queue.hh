@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue orders callbacks by (tick, priority, sequence).
+ * Sequence numbers make same-tick ordering deterministic: events
+ * scheduled first run first. All simulation state advances only through
+ * this queue, so every run with the same seed is bit-reproducible.
+ */
+
+#ifndef TF_SIM_EVENT_QUEUE_HH
+#define TF_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace tf::sim {
+
+/** Relative ordering of events that fire on the same tick. */
+enum class EventPriority : int {
+    ClockEdge = 0,   ///< clock-domain edges fire first
+    Default = 50,
+    Stats = 90,      ///< sampling runs after state updates
+    Teardown = 100,
+};
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Opaque handle identifying a scheduled event (for deschedule). */
+    using EventId = std::uint64_t;
+    static constexpr EventId invalidEvent = 0;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @return a handle usable with deschedule().
+     */
+    EventId
+    schedule(Tick when, Callback cb,
+             EventPriority prio = EventPriority::Default)
+    {
+        TF_ASSERT(when >= _now, "scheduling into the past (%llu < %llu)",
+                  (unsigned long long)when, (unsigned long long)_now);
+        EventId id = ++_nextId;
+        _heap.push(Entry{when, static_cast<int>(prio), id, std::move(cb)});
+        _live.insert(id);
+        return id;
+    }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId
+    scheduleIn(Tick delay, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(_now + delay, std::move(cb), prio);
+    }
+
+    /**
+     * Cancel a previously scheduled event. Lazy: the entry stays in the
+     * heap but is skipped when popped. Cancelling an already-fired or
+     * unknown id is a no-op.
+     */
+    void deschedule(EventId id);
+
+    /** Number of events still scheduled (excluding cancelled ones). */
+    std::size_t pending() const { return _live.size(); }
+
+    /** True when no runnable events remain. */
+    bool empty() const { return _live.empty(); }
+
+    /**
+     * Run events until the queue drains or @p limit is reached.
+     * @param limit absolute stop time; events at t > limit stay queued.
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = maxTick);
+
+    /** Run at most @p maxEvents events (drain order). */
+    std::uint64_t runEvents(std::uint64_t maxEvents);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Advance time to @p when without running anything before it.
+     * Only legal when nothing is scheduled before @p when.
+     */
+    void warp(Tick when);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.id > b.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::unordered_set<EventId> _live;
+    Tick _now = 0;
+    EventId _nextId = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace tf::sim
+
+#endif // TF_SIM_EVENT_QUEUE_HH

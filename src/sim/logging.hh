@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal gem5-style logging and error reporting.
+ *
+ * panic()  -- internal simulator bug; aborts.
+ * fatal()  -- user/configuration error; exits cleanly with an error code.
+ * warn()/inform() -- status messages that never stop the simulation.
+ */
+
+#ifndef TF_SIM_LOGGING_HH
+#define TF_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tf::sim {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Set the global verbosity threshold (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+/**
+ * Report an internal simulator bug and abort. Never returns.
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1). Never returns.
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report debug-level detail. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf into a std::string. */
+std::string vstrprintf(const char *fmt, std::va_list args);
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace tf::sim
+
+/**
+ * Assert a simulation invariant; on failure, panic with location info.
+ * Active in all build types (simulation correctness beats speed here).
+ */
+#define TF_ASSERT(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::tf::sim::panic("assertion '%s' failed at %s:%d: %s", #cond,  \
+                             __FILE__, __LINE__,                           \
+                             ::tf::sim::strprintf(__VA_ARGS__).c_str());   \
+        }                                                                  \
+    } while (0)
+
+#endif // TF_SIM_LOGGING_HH

@@ -1,0 +1,158 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace tf::sim {
+
+void
+Summary::add(double x)
+{
+    ++_count;
+    _sum += x;
+    double delta = x - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (x - _mean);
+    _min = std::min(_min, x);
+    _max = std::max(_max, x);
+}
+
+void
+Summary::reset()
+{
+    *this = Summary{};
+}
+
+double
+Summary::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_count - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+SampleStat::add(double x)
+{
+    _samples.push_back(x);
+    _sorted = false;
+    _summary.add(x);
+}
+
+void
+SampleStat::reset()
+{
+    _samples.clear();
+    _sorted = true;
+    _summary.reset();
+}
+
+void
+SampleStat::ensureSorted() const
+{
+    if (!_sorted) {
+        std::sort(_samples.begin(), _samples.end());
+        _sorted = true;
+    }
+}
+
+double
+SampleStat::quantile(double q) const
+{
+    TF_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    if (_samples.empty())
+        return 0.0;
+    ensureSorted();
+    // Linear interpolation between closest ranks (type-7 quantile).
+    double pos = q * static_cast<double>(_samples.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, _samples.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return _samples[lo] * (1.0 - frac) + _samples[hi] * frac;
+}
+
+void
+SampleStat::writeCdf(std::ostream &os, std::size_t points) const
+{
+    if (_samples.empty())
+        return;
+    ensureSorted();
+    for (std::size_t i = 0; i <= points; ++i) {
+        double q = static_cast<double>(i) / static_cast<double>(points);
+        os << quantile(q) << ' ' << q << '\n';
+    }
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : _lo(lo), _hi(hi),
+      _width((hi - lo) / static_cast<double>(buckets)),
+      _buckets(buckets, 0)
+{
+    TF_ASSERT(hi > lo && buckets > 0, "bad histogram bounds");
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    _count += weight;
+    if (x < _lo) {
+        _under += weight;
+    } else if (x >= _hi) {
+        _over += weight;
+    } else {
+        auto idx = static_cast<std::size_t>((x - _lo) / _width);
+        if (idx >= _buckets.size())
+            idx = _buckets.size() - 1; // float edge case at x ~= hi
+        _buckets[idx] += weight;
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _under = _over = _count = 0;
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return _lo + _width * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHi(std::size_t i) const
+{
+    return bucketLo(i) + _width;
+}
+
+void
+StatSet::record(const std::string &name, double value,
+                const std::string &unit, const std::string &desc)
+{
+    _entries.push_back(StatEntry{name, desc, unit, value});
+}
+
+void
+StatSet::print(std::ostream &os) const
+{
+    for (const auto &e : _entries) {
+        os << std::left << std::setw(44) << (_owner + "." + e.name)
+           << ' ' << std::setw(16) << e.value << ' ' << std::setw(8)
+           << e.unit;
+        if (!e.desc.empty())
+            os << " # " << e.desc;
+        os << '\n';
+    }
+}
+
+} // namespace tf::sim

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Statistics collection: counters, distributions and CDFs.
+ *
+ * Benches use these to print the rows/series of the paper's figures.
+ * Stats can optionally be registered with a StatSet so a whole
+ * component's statistics print together.
+ */
+
+#ifndef TF_SIM_STATS_HH
+#define TF_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tf::sim {
+
+/** Monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { _value += n; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/**
+ * Running summary of a stream of samples: count / mean / min / max /
+ * stddev, computed online (Welford) with O(1) memory.
+ */
+class Summary
+{
+  public:
+    void add(double x);
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _mean : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double total() const { return _sum; }
+
+  private:
+    std::uint64_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _sum = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Full sample store for quantiles and CDF output. Used for latency
+ * distributions (e.g. the Memcached GET latency CDF of Fig. 8).
+ */
+class SampleStat
+{
+  public:
+    void add(double x);
+    void reset();
+
+    std::uint64_t count() const { return _summary.count(); }
+    double mean() const { return _summary.mean(); }
+    double min() const { return _summary.min(); }
+    double max() const { return _summary.max(); }
+    double stddev() const { return _summary.stddev(); }
+
+    /** Quantile in [0, 1]; e.g. quantile(0.9) is the p90. */
+    double quantile(double q) const;
+
+    /** Emit "value cumulative_fraction" rows at @p points resolution. */
+    void writeCdf(std::ostream &os, std::size_t points = 100) const;
+
+    const std::vector<double> &samples() const { return _samples; }
+
+  private:
+    mutable std::vector<double> _samples;
+    mutable bool _sorted = true;
+    Summary _summary;
+
+    void ensureSorted() const;
+};
+
+/** Fixed-width-bucket histogram over [lo, hi) with under/overflow. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x, std::uint64_t weight = 1);
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t bucket(std::size_t i) const { return _buckets.at(i); }
+    std::size_t buckets() const { return _buckets.size(); }
+    double bucketLo(std::size_t i) const;
+    double bucketHi(std::size_t i) const;
+    std::uint64_t underflow() const { return _under; }
+    std::uint64_t overflow() const { return _over; }
+
+  private:
+    double _lo;
+    double _hi;
+    double _width;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _under = 0;
+    std::uint64_t _over = 0;
+    std::uint64_t _count = 0;
+};
+
+/** A named, documented stat for grouped reporting. */
+struct StatEntry
+{
+    std::string name;
+    std::string desc;
+    std::string unit;
+    double value;
+};
+
+/** Collects name/value rows from a component and pretty-prints them. */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string owner) : _owner(std::move(owner)) {}
+
+    void record(const std::string &name, double value,
+                const std::string &unit = "",
+                const std::string &desc = "");
+
+    const std::vector<StatEntry> &entries() const { return _entries; }
+    const std::string &owner() const { return _owner; }
+
+    /** Print "owner.name value unit # desc" rows. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string _owner;
+    std::vector<StatEntry> _entries;
+};
+
+} // namespace tf::sim
+
+#endif // TF_SIM_STATS_HH

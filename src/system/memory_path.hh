@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cache-filtered memory access path for workload models.
+ *
+ * A burst is the memory phase of one application operation: a set of
+ * virtual cacheline addresses touched with a given memory-level
+ * parallelism. Each address is looked up in the node's shared cache;
+ * misses are translated through the process page table and issued on
+ * the host bus, landing either in local DRAM or in the ThymesisFlow
+ * window depending on where the kernel placed the page. Dirty
+ * victims generate write-back traffic.
+ */
+
+#ifndef TF_SYS_MEMORY_PATH_HH
+#define TF_SYS_MEMORY_PATH_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "os/address_space.hh"
+#include "system/node.hh"
+
+namespace tf::sys {
+
+/** One access of a mixed burst. */
+struct Access
+{
+    mem::Addr vaddr;
+    bool write;
+};
+
+class MemoryPath
+{
+  public:
+    explicit MemoryPath(Node &node) : _node(node) {}
+
+    /**
+     * Touch @p vaddrs (cacheline granular) in @p space.
+     * @param write   store accesses (marks lines dirty).
+     * @param mlp     outstanding misses allowed concurrently.
+     * @param done    invoked once every miss has completed.
+     */
+    void burst(os::AddressSpace &space,
+               std::vector<mem::Addr> vaddrs, bool write, int mlp,
+               std::function<void()> done);
+
+    /**
+     * Mixed burst: loads and stores overlap on the same miss window
+     * (loads fill, stores fill-for-ownership), as the core's load/
+     * store queues allow.
+     * @param streamingStores full-line stores bypass the cache and
+     *        write memory directly (POWER9 dcbz-style store streams;
+     *        no read-for-ownership, no write-back).
+     */
+    void burstMixed(os::AddressSpace &space,
+                    std::vector<Access> accesses, int mlp,
+                    std::function<void()> done,
+                    bool streamingStores = false);
+
+    std::uint64_t hits() const { return _hits.value(); }
+    std::uint64_t misses() const { return _misses.value(); }
+    std::uint64_t writebacks() const { return _writebacks.value(); }
+
+  private:
+    struct BurstState
+    {
+        os::AddressSpace *space;
+        /** Post-filter misses: physical address + store-stream flag. */
+        std::vector<Access> misses;
+        std::size_t next = 0;
+        int inFlight = 0;
+        std::function<void()> done;
+    };
+
+    Node &_node;
+    sim::Counter _hits;
+    sim::Counter _misses;
+    sim::Counter _writebacks;
+
+    void pump(const std::shared_ptr<BurstState> &st, int mlp);
+};
+
+} // namespace tf::sys
+
+#endif // TF_SYS_MEMORY_PATH_HH

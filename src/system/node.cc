@@ -1,0 +1,49 @@
+#include "system/node.hh"
+
+namespace tf::sys {
+
+Node::Node(std::string name, sim::EventQueue &eq, NodeParams params)
+    : _name(std::move(name)), _eq(eq), _params(params),
+      _cache(params.cache)
+{
+    _localNode = _topo.addNode(_name + ".local", true);
+    // A CPU-less node is pre-created for hotplugged ThymesisFlow
+    // memory; its distance reflects the remote access RTT.
+    _tflowNode = _topo.addNode(_name + ".tflow0", false);
+    _topo.setDistance(_localNode, _tflowNode, 80);
+
+    _mm = std::make_unique<os::MemoryManager>(
+        _topo, _params.sectionBytes, _params.pageBytes);
+    for (std::uint64_t i = 0; i < _params.bootSections; ++i) {
+        bool ok = _mm->onlineSection(_localNode,
+                                     i * _params.sectionBytes);
+        TF_ASSERT(ok, "boot memory online failed");
+    }
+
+    _dram = std::make_unique<mem::Dram>(_name + ".dram", eq,
+                                        _params.dram, &_store);
+    _agent = std::make_unique<agent::Agent>(
+        _name + ".agent", *_mm, _pasids, _params.agentToken);
+}
+
+void
+Node::attachDatapath(flow::Datapath &dp)
+{
+    _datapath = &dp;
+}
+
+void
+Node::issue(mem::TxnPtr txn)
+{
+    TF_ASSERT(mem::isRequest(txn->type), "host bus takes requests");
+    if (_datapath != nullptr &&
+        _datapath->compute().window().contains(txn->addr, txn->size)) {
+        _remoteAccesses.inc();
+        _datapath->issue(std::move(txn));
+        return;
+    }
+    _localAccesses.inc();
+    _dram->access(std::move(txn), [](mem::TxnPtr t) { t->complete(); });
+}
+
+} // namespace tf::sys

@@ -1,0 +1,108 @@
+#include "system/testbed.hh"
+
+namespace tf::sys {
+
+namespace {
+constexpr mem::Addr kWindowBase = 0x2000000000ULL;
+} // namespace
+
+const char *
+setupName(Setup s)
+{
+    switch (s) {
+      case Setup::Local:
+        return "local";
+      case Setup::SingleDisaggregated:
+        return "single-disaggregated";
+      case Setup::BondingDisaggregated:
+        return "bonding-disaggregated";
+      case Setup::Interleaved:
+        return "interleaved";
+      case Setup::ScaleOut:
+        return "scale-out";
+    }
+    return "?";
+}
+
+Testbed::Testbed(sim::EventQueue &eq, TestbedParams params)
+    : _eq(eq), _params(params), _rng(params.seed),
+      _network("net", eq)
+{
+    _serverA = std::make_unique<Node>("serverA", eq, _params.node);
+    _serverB = std::make_unique<Node>("serverB", eq, _params.node);
+    NodeParams client_params = _params.node;
+    client_params.bootSections = 8;
+    _client = std::make_unique<Node>("client", eq, client_params);
+
+    _cpuA = std::make_unique<CpuSet>("cpuA", eq,
+                                     _params.node.hwThreads);
+    _cpuB = std::make_unique<CpuSet>("cpuB", eq,
+                                     _params.node.hwThreads);
+
+    _network.connect("client", "serverA", net::EthParams::tenGig());
+    _network.connect("client", "serverB", net::EthParams::tenGig());
+    _network.connect("serverA", "serverB",
+                     net::EthParams::hundredGig());
+
+    switch (_params.setup) {
+      case Setup::Local:
+      case Setup::ScaleOut:
+        break;
+      case Setup::SingleDisaggregated:
+      case Setup::Interleaved:
+        composeDisaggregated(1);
+        break;
+      case Setup::BondingDisaggregated:
+        composeDisaggregated(2);
+        break;
+    }
+}
+
+void
+Testbed::composeDisaggregated(int channels)
+{
+    // Donor memory must exist beyond what the app itself needs on B:
+    // give B extra boot sections to donate from.
+    std::uint64_t window =
+        mem::alignUp(_params.donatedBytes, _params.node.sectionBytes) *
+        2;
+    _datapath = std::make_unique<flow::Datapath>(
+        "tflow", _eq, _params.flow,
+        ocapi::M1Window{kWindowBase, window}, _serverB->pasids(),
+        _serverB->dram(), _rng, _params.node.sectionBytes);
+    _serverA->attachDatapath(*_datapath);
+
+    _cp = std::make_unique<ctrl::ControlPlane>(
+        _params.node.agentToken);
+    _cp->addUser("admin", ctrl::Role::Admin);
+    _cp->registerHost("serverA", _serverA->agent(), _serverA->mm());
+    _cp->registerHost("serverB", _serverB->agent(), _serverB->mm());
+    _cp->registerDatapath("serverA", "serverB", *_datapath);
+
+    auto id = _cp->allocate("admin", "serverA", "serverB",
+                            _params.donatedBytes,
+                            _serverA->tflowNode(), channels,
+                            _serverB->localNode());
+    TF_ASSERT(id.has_value(),
+              "testbed failed to compose disaggregated memory");
+    _allocationId = *id;
+}
+
+os::AllocPolicy
+Testbed::serverPolicy()
+{
+    switch (_params.setup) {
+      case Setup::Local:
+      case Setup::ScaleOut:
+        return os::AllocPolicy::bind({_serverA->localNode()});
+      case Setup::SingleDisaggregated:
+      case Setup::BondingDisaggregated:
+        return os::AllocPolicy::bind({_serverA->tflowNode()});
+      case Setup::Interleaved:
+        return os::AllocPolicy::interleave(
+            {_serverA->localNode(), _serverA->tflowNode()});
+    }
+    return os::AllocPolicy::local();
+}
+
+} // namespace tf::sys

@@ -1,0 +1,132 @@
+#include "tflow/compute_endpoint.hh"
+
+#include "sim/logging.hh"
+
+namespace tf::flow {
+
+ComputeEndpoint::ComputeEndpoint(std::string name, sim::EventQueue &eq,
+                                 const FlowParams &params,
+                                 ocapi::M1Window window,
+                                 SectionTable sections)
+    : SimObject(std::move(name), eq), _params(params), _window(window),
+      _rmmu(this->name() + ".rmmu", std::move(sections)),
+      _hostSerdesDown(this->name() + ".hostSerdesDown", eq,
+                      {params.serdesLatency, params.hostLinkBps}),
+      _stackDown(this->name() + ".stackDown", eq,
+                 {params.fpgaStackLatency, 0}),
+      _stackUp(this->name() + ".stackUp", eq,
+               {params.fpgaStackLatency, 0}),
+      _hostSerdesUp(this->name() + ".hostSerdesUp", eq,
+                    {params.serdesLatency, params.hostLinkBps})
+{
+    _hostSerdesDown.connect(
+        [this](mem::TxnPtr txn) { _stackDown.push(std::move(txn)); });
+    _stackDown.connect(
+        [this](mem::TxnPtr txn) { routeAndSend(std::move(txn)); });
+    _stackUp.connect(
+        [this](mem::TxnPtr txn) { _hostSerdesUp.push(std::move(txn)); });
+    _hostSerdesUp.connect(
+        [this](mem::TxnPtr txn) { finish(std::move(txn)); });
+}
+
+void
+ComputeEndpoint::connectChannels(std::vector<LlcTx *> txs)
+{
+    TF_ASSERT(!txs.empty(), "compute endpoint needs >= 1 channel");
+    _channelTx = std::move(txs);
+}
+
+void
+ComputeEndpoint::issue(mem::TxnPtr txn)
+{
+    TF_ASSERT(mem::isRequest(txn->type), "issue() takes requests");
+    TF_ASSERT(_window.contains(txn->addr, txn->size),
+              "address outside the endpoint's M1 window");
+    txn->issued = now();
+    if (_outstanding.size() >= _params.maxTags) {
+        _tagStalls.inc();
+        _waitQueue.push_back(std::move(txn));
+        return;
+    }
+    admit(std::move(txn));
+}
+
+void
+ComputeEndpoint::admit(mem::TxnPtr txn)
+{
+    _issued.inc();
+    _outstanding.insert(txn->id);
+    _hostSerdesDown.push(std::move(txn));
+}
+
+void
+ComputeEndpoint::routeAndSend(mem::TxnPtr txn)
+{
+    // Real address -> device-internal address (window starts at 0x0).
+    txn->addr = _window.toInternal(txn->addr);
+    txn->origAddr = txn->addr;
+
+    if (!_rmmu.translate(*txn)) {
+        failFast(std::move(txn));
+        return;
+    }
+
+    int ch = _routing.route(*txn);
+    if (ch < 0) {
+        failFast(std::move(txn));
+        return;
+    }
+    TF_ASSERT(static_cast<std::size_t>(ch) < _channelTx.size(),
+              "route to unknown channel %d", ch);
+    _channelTx[static_cast<std::size_t>(ch)]->enqueue(std::move(txn));
+}
+
+void
+ComputeEndpoint::failFast(mem::TxnPtr txn)
+{
+    txn->makeResponse();
+    txn->error = true;
+    // Fault responses still cross the stack back to the host.
+    _stackUp.push(std::move(txn));
+}
+
+void
+ComputeEndpoint::onNetworkResponse(mem::TxnPtr txn)
+{
+    TF_ASSERT(!mem::isRequest(txn->type), "request on response path");
+    _stackUp.push(std::move(txn));
+}
+
+void
+ComputeEndpoint::finish(mem::TxnPtr txn)
+{
+    auto it = _outstanding.find(txn->id);
+    TF_ASSERT(it != _outstanding.end(),
+              "response for unknown transaction %llu",
+              (unsigned long long)txn->id);
+    _outstanding.erase(it);
+    _completed.inc();
+    _rttNs.add(sim::toNs(now() - txn->issued));
+    txn->complete();
+
+    while (!_waitQueue.empty() &&
+           _outstanding.size() < _params.maxTags) {
+        mem::TxnPtr next = std::move(_waitQueue.front());
+        _waitQueue.pop_front();
+        admit(std::move(next));
+    }
+}
+
+void
+ComputeEndpoint::reportStats(sim::StatSet &out) const
+{
+    out.record("issued", static_cast<double>(_issued.value()), "txns");
+    out.record("completed", static_cast<double>(_completed.value()),
+               "txns");
+    out.record("rmmuFaults", static_cast<double>(_rmmu.faults()));
+    out.record("tagStalls", static_cast<double>(_tagStalls.value()));
+    out.record("rttMeanNs", _rttNs.mean(), "ns");
+    out.record("rttP99Ns", _rttNs.quantile(0.99), "ns");
+}
+
+} // namespace tf::flow

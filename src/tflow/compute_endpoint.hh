@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ThymesisFlow compute endpoint (Section IV-A1).
+ *
+ * The compute endpoint introduces remote memory into the host's real
+ * address space: the firmware assigns it an M1-mode window, and every
+ * cacheline transaction landing in the window crosses the host serDES
+ * and the FPGA stack, is translated by the RMMU into a donor effective
+ * address plus network id, and is forwarded by the routing layer onto
+ * one of the network channels. Responses retrace the FPGA stack and
+ * complete the host transaction.
+ *
+ * The endpoint supports a bounded number of outstanding transactions
+ * (OpenCAPI tags); excess requests queue at the host interface.
+ */
+
+#ifndef TF_FLOW_COMPUTE_ENDPOINT_HH
+#define TF_FLOW_COMPUTE_ENDPOINT_HH
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "opencapi/crossing.hh"
+#include "opencapi/m1_window.hh"
+#include "sim/stats.hh"
+#include "tflow/llc.hh"
+#include "tflow/rmmu.hh"
+#include "tflow/routing.hh"
+
+namespace tf::flow {
+
+class ComputeEndpoint : public sim::SimObject
+{
+  public:
+    ComputeEndpoint(std::string name, sim::EventQueue &eq,
+                    const FlowParams &params, ocapi::M1Window window,
+                    SectionTable sections);
+
+    /** Wire the per-channel transmit sides (one LlcTx per channel). */
+    void connectChannels(std::vector<LlcTx *> txs);
+
+    /**
+     * Host-bus entry point: a cacheline load/store whose real address
+     * falls inside the M1 window. The transaction's onComplete fires
+     * when the response returns (or immediately on an RMMU fault,
+     * with error set).
+     */
+    void issue(mem::TxnPtr txn);
+
+    /** Response arrival from a channel's LlcRx (any channel). */
+    void onNetworkResponse(mem::TxnPtr txn);
+
+    Rmmu &rmmu() { return _rmmu; }
+    RoutingLayer &routing() { return _routing; }
+    const ocapi::M1Window &window() const { return _window; }
+
+    std::size_t outstanding() const { return _outstanding.size(); }
+    std::size_t queued() const { return _waitQueue.size(); }
+
+    std::uint64_t issued() const { return _issued.value(); }
+    std::uint64_t completed() const { return _completed.value(); }
+    std::uint64_t rmmuFaults() const { return _rmmu.faults(); }
+    std::uint64_t tagStalls() const { return _tagStalls.value(); }
+
+    /** Round-trip latency distribution (ns) seen at the host bus. */
+    const sim::SampleStat &rttNs() const { return _rttNs; }
+
+    void reportStats(sim::StatSet &out) const;
+
+  private:
+    const FlowParams &_params;
+    ocapi::M1Window _window;
+    Rmmu _rmmu;
+    RoutingLayer _routing;
+
+    // Host-side pipeline stages (one OpenCAPI FPGA stack instance).
+    ocapi::CrossingStage _hostSerdesDown;
+    ocapi::CrossingStage _stackDown;
+    ocapi::CrossingStage _stackUp;
+    ocapi::CrossingStage _hostSerdesUp;
+
+    std::vector<LlcTx *> _channelTx;
+    std::deque<mem::TxnPtr> _waitQueue;
+    std::unordered_set<std::uint64_t> _outstanding;
+
+    sim::Counter _issued;
+    sim::Counter _completed;
+    sim::Counter _tagStalls;
+    sim::SampleStat _rttNs;
+
+    void admit(mem::TxnPtr txn);
+    void routeAndSend(mem::TxnPtr txn);
+    void finish(mem::TxnPtr txn);
+    void failFast(mem::TxnPtr txn);
+};
+
+} // namespace tf::flow
+
+#endif // TF_FLOW_COMPUTE_ENDPOINT_HH

@@ -1,0 +1,88 @@
+#include "tflow/datapath.hh"
+
+#include "sim/logging.hh"
+
+namespace tf::flow {
+
+Datapath::Datapath(const std::string &name, sim::EventQueue &eq,
+                   FlowParams params, ocapi::M1Window window,
+                   ocapi::PasidRegistry &donorPasids,
+                   mem::Dram &donorDram, sim::Rng &rng,
+                   std::uint64_t sectionBytes)
+    : _params(params),
+      _c1(name + ".c1", eq, ocapi::C1Params{}, donorPasids, donorDram),
+      _compute(name + ".compute", eq, _params, window,
+               SectionTable(sectionBytes,
+                            static_cast<std::size_t>(
+                                (window.size + sectionBytes - 1) /
+                                sectionBytes))),
+      _stealing(name + ".stealing", eq, _params, _c1)
+{
+    TF_ASSERT(_params.channels > 0, "need at least one channel");
+    std::vector<LlcTx *> computeTxs;
+    std::vector<LlcTx *> stealTxs;
+    for (int i = 0; i < _params.channels; ++i) {
+        auto ch = std::make_unique<LlcChannel>(
+            name + ".ch" + std::to_string(i), eq, _params, rng);
+        int idx = i;
+        ch->rxB().connectSink([this, idx](mem::TxnPtr txn) {
+            _stealing.onNetworkRequest(idx, std::move(txn));
+        });
+        ch->rxA().connectSink([this](mem::TxnPtr txn) {
+            _compute.onNetworkResponse(std::move(txn));
+        });
+        computeTxs.push_back(&ch->txA());
+        stealTxs.push_back(&ch->txB());
+        _channels.push_back(std::move(ch));
+    }
+    _compute.connectChannels(std::move(computeTxs));
+    _stealing.connectChannels(std::move(stealTxs));
+}
+
+void
+Datapath::attach(std::size_t sectionIndex, mem::Addr remoteBase,
+                 mem::NetworkId id, std::vector<int> channels)
+{
+    TF_ASSERT(!channels.empty(), "attach with no channels");
+    for (int ch : channels) {
+        TF_ASSERT(ch >= 0 && static_cast<std::size_t>(ch) <
+                                 _channels.size(),
+                  "attach references unknown channel %d", ch);
+    }
+    bool bonded = channels.size() > 1;
+    _compute.rmmu().table().map(sectionIndex, remoteBase, id, bonded);
+    _compute.routing().setRoute(id, std::move(channels));
+}
+
+void
+Datapath::detach(std::size_t sectionIndex)
+{
+    const SectionEntry &e =
+        _compute.rmmu().table().entry(sectionIndex);
+    if (!e.valid)
+        return;
+    mem::NetworkId id = e.networkId;
+    _compute.rmmu().table().unmap(sectionIndex);
+
+    // Only clear the route once no other section uses this flow id.
+    bool in_use = false;
+    for (std::size_t i = 0; i < _compute.rmmu().table().entries(); ++i) {
+        const SectionEntry &other = _compute.rmmu().table().entry(i);
+        if (other.valid && other.networkId == id) {
+            in_use = true;
+            break;
+        }
+    }
+    if (!in_use)
+        _compute.routing().clearRoute(id);
+}
+
+void
+Datapath::reportStats(sim::StatSet &out) const
+{
+    _compute.reportStats(out);
+    out.record("c1Txns", static_cast<double>(_c1.transactions()));
+    out.record("c1Faults", static_cast<double>(_c1.faults()));
+}
+
+} // namespace tf::flow

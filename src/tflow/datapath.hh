@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Full ThymesisFlow datapath between one compute node and one donor.
+ *
+ * Assembles the pieces of Fig. 2: compute endpoint (M1 window + RMMU +
+ * routing), the network channels with their LLC protocol instances,
+ * and the memory-stealing endpoint mastering donor memory via
+ * OpenCAPI C1. This is the object the agent and control plane
+ * configure, and the one benchmarks drive.
+ */
+
+#ifndef TF_FLOW_DATAPATH_HH
+#define TF_FLOW_DATAPATH_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/dram.hh"
+#include "tflow/compute_endpoint.hh"
+#include "tflow/stealing_endpoint.hh"
+
+namespace tf::flow {
+
+class Datapath
+{
+  public:
+    /**
+     * @param window      M1 real-address window on the compute host.
+     * @param donorPasids PASID registry of the donor host.
+     * @param donorDram   donor host's memory controller.
+     * @param sectionBytes RMMU section granularity.
+     */
+    Datapath(const std::string &name, sim::EventQueue &eq,
+             FlowParams params, ocapi::M1Window window,
+             ocapi::PasidRegistry &donorPasids, mem::Dram &donorDram,
+             sim::Rng &rng,
+             std::uint64_t sectionBytes = mem::sectionBytes);
+
+    ComputeEndpoint &compute() { return _compute; }
+    StealingEndpoint &stealing() { return _stealing; }
+    ocapi::C1Master &c1() { return _c1; }
+    LlcChannel &channel(std::size_t i) { return *_channels.at(i); }
+    std::size_t channelCount() const { return _channels.size(); }
+    const FlowParams &params() const { return _params; }
+
+    /**
+     * Configure an active thymesisflow: map device-internal section
+     * @p sectionIndex to donor effective address @p remoteBase, under
+     * network id @p id, forwarded over @p channels (bonded when more
+     * than one channel is given).
+     */
+    void attach(std::size_t sectionIndex, mem::Addr remoteBase,
+                mem::NetworkId id, std::vector<int> channels);
+
+    /** Tear down a section's flow. */
+    void detach(std::size_t sectionIndex);
+
+    /** Convenience: issue a host transaction into the M1 window. */
+    void issue(mem::TxnPtr txn) { _compute.issue(std::move(txn)); }
+
+    void reportStats(sim::StatSet &out) const;
+
+  private:
+    FlowParams _params;
+    ocapi::C1Master _c1;
+    std::vector<std::unique_ptr<LlcChannel>> _channels;
+    ComputeEndpoint _compute;
+    StealingEndpoint _stealing;
+};
+
+} // namespace tf::flow
+
+#endif // TF_FLOW_DATAPATH_HH

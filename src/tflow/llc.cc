@@ -1,0 +1,361 @@
+#include "tflow/llc.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tf::flow {
+
+// ---------------------------------------------------------------- Wire
+
+Wire::Wire(std::string name, sim::EventQueue &eq, const FlowParams &params,
+           sim::Rng &rng)
+    : SimObject(std::move(name), eq), _params(params), _rng(rng)
+{
+}
+
+void
+Wire::connect(FrameFn onFrame, CtrlFn onCtrl)
+{
+    _onFrame = std::move(onFrame);
+    _onCtrl = std::move(onCtrl);
+}
+
+double
+Wire::utilisation() const
+{
+    if (now() == 0)
+        return 0.0;
+    return static_cast<double>(_busy) / static_cast<double>(now());
+}
+
+void
+Wire::sendFrame(FramePtr frame)
+{
+    TF_ASSERT(_onFrame != nullptr, "%s: wire not connected",
+              name().c_str());
+
+    // Frames always occupy the full frame size (padding included).
+    std::uint32_t bytes = _params.frameFlits * _params.flitBytes;
+    double ser_secs = static_cast<double>(bytes) / _params.channelBps;
+    sim::Tick ser = sim::seconds(ser_secs);
+    sim::Tick start = std::max(now(), _nextFree);
+    _nextFree = start + ser;
+    _busy += ser;
+    _wireBytes.inc(bytes);
+    _framesSent.inc();
+
+    bool drop = false;
+    if (_params.frameErrorRate > 0 && _rng.chance(_params.frameErrorRate)) {
+        if (_rng.chance(0.5)) {
+            drop = true;
+            _framesDropped.inc();
+        } else {
+            frame->corrupted = true;
+            _framesCorrupted.inc();
+        }
+    }
+    if (drop)
+        return;
+
+    sim::Tick deliver =
+        start + ser + _params.serdesLatency + _params.wireLatency;
+    after(deliver - now(), [this, frame = std::move(frame)]() mutable {
+        _onFrame(std::move(frame));
+    });
+}
+
+void
+Wire::sendCtrl(ControlMsg msg)
+{
+    TF_ASSERT(_onCtrl != nullptr, "%s: wire not connected",
+              name().c_str());
+    sim::Tick deliver = _params.serdesLatency + _params.wireLatency;
+    after(deliver, [this, msg]() { _onCtrl(msg); });
+}
+
+// --------------------------------------------------------------- LlcTx
+
+LlcTx::LlcTx(std::string name, sim::EventQueue &eq,
+             const FlowParams &params, Wire &wire)
+    : SimObject(std::move(name), eq), _params(params), _wire(wire),
+      _credits(params.rxQueueFrames)
+{
+}
+
+void
+LlcTx::enqueue(mem::TxnPtr txn)
+{
+    TF_ASSERT(mem::flitCount(*txn) <= _params.frameFlits,
+              "transaction larger than a frame");
+    _queue.push_back(std::move(txn));
+    // Assemble on a deferred kick so same-tick arrivals pack into one
+    // frame, matching hardware where the frame fills as flits arrive.
+    scheduleKick(now());
+}
+
+void
+LlcTx::scheduleKick(sim::Tick when)
+{
+    if (_kickScheduled)
+        return;
+    _kickScheduled = true;
+    after(when - now(), [this]() {
+        _kickScheduled = false;
+        trySend();
+    });
+}
+
+FramePtr
+LlcTx::assembleFrame()
+{
+    auto frame = std::make_shared<Frame>();
+    frame->seq = _nextSeq++;
+    std::uint32_t flits = 0;
+    while (!_queue.empty()) {
+        std::uint32_t need = mem::flitCount(*_queue.front());
+        if (flits + need > _params.frameFlits)
+            break;
+        flits += need;
+        frame->txns.push_back(std::move(_queue.front()));
+        _queue.pop_front();
+    }
+    frame->usedFlits = flits;
+    frame->padFlits = _params.frameFlits - flits;
+    _padFlits.inc(frame->padFlits);
+    _txnsSent.inc(frame->txns.size());
+    return frame;
+}
+
+void
+LlcTx::transmit(const FramePtr &frame, bool replay)
+{
+    TF_ASSERT(_credits > 0, "transmit without credits");
+    --_credits;
+    _framesSent.inc();
+    if (replay) {
+        _replays.inc();
+        // Retransmissions are fresh copies on the wire: clear the
+        // corruption marker from an earlier damaged delivery.
+        auto copy = std::make_shared<Frame>(*frame);
+        copy->corrupted = false;
+        copy->replayed = true;
+        _wire.sendFrame(copy);
+    } else {
+        _wire.sendFrame(frame);
+    }
+    armTimer();
+}
+
+void
+LlcTx::trySend()
+{
+    while (!_queue.empty()) {
+        if (_credits == 0) {
+            _creditStalls.inc();
+            return; // a credit return re-kicks via onCtrl
+        }
+        if (_replayBuf.size() >= _params.replayBufferFrames) {
+            return; // an ack re-kicks via onCtrl
+        }
+        if (_wire.nextFree() > now()) {
+            // Wire busy: wait, so the queue keeps filling and later
+            // frames pack densely instead of padding early.
+            scheduleKick(_wire.nextFree());
+            return;
+        }
+        FramePtr frame = assembleFrame();
+        _replayBuf.push_back(frame);
+        transmit(frame, false);
+    }
+}
+
+void
+LlcTx::refundCredits(std::uint32_t n)
+{
+    _credits = std::min(_credits + n, _params.rxQueueFrames);
+}
+
+void
+LlcTx::onCtrl(const ControlMsg &msg)
+{
+    if (msg.credits > 0)
+        refundCredits(msg.credits);
+
+    if (msg.hasAck) {
+        while (!_replayBuf.empty() && _replayBuf.front()->seq <= msg.ack)
+            _replayBuf.pop_front();
+        if (_replayBuf.empty())
+            disarmTimer();
+        else
+            armTimer();
+    }
+
+    if (msg.replayRequest)
+        replayFrom(msg.replayFrom);
+
+    if (!_queue.empty())
+        scheduleKick(now());
+}
+
+void
+LlcTx::replayFrom(FrameSeq seq)
+{
+    // The Rx side discarded every frame from `seq` onwards; refund the
+    // credits those transmissions consumed, then retransmit in order.
+    std::size_t idx = 0;
+    while (idx < _replayBuf.size() && _replayBuf[idx]->seq < seq)
+        ++idx;
+    std::size_t count = _replayBuf.size() - idx;
+    if (count == 0)
+        return;
+    refundCredits(static_cast<std::uint32_t>(count));
+    for (; idx < _replayBuf.size(); ++idx) {
+        if (_credits == 0) {
+            _creditStalls.inc();
+            break;
+        }
+        transmit(_replayBuf[idx], true);
+    }
+}
+
+void
+LlcTx::armTimer()
+{
+    disarmTimer();
+    _ackTimer = after(_params.ackTimeout, [this]() {
+        _ackTimer = sim::EventQueue::invalidEvent;
+        onAckTimeout();
+    });
+}
+
+void
+LlcTx::disarmTimer()
+{
+    if (_ackTimer != sim::EventQueue::invalidEvent) {
+        eventQueue().deschedule(_ackTimer);
+        _ackTimer = sim::EventQueue::invalidEvent;
+    }
+}
+
+void
+LlcTx::onAckTimeout()
+{
+    if (_replayBuf.empty())
+        return;
+    _timeouts.inc();
+    // Tail loss: nothing after the lost frame arrived to trigger gap
+    // detection at the Rx. Assume everything unacked was dropped.
+    replayFrom(_replayBuf.front()->seq);
+}
+
+void
+LlcTx::reportStats(sim::StatSet &out) const
+{
+    out.record("framesSent", static_cast<double>(_framesSent.value()));
+    out.record("txnsSent", static_cast<double>(_txnsSent.value()));
+    out.record("padFlits", static_cast<double>(_padFlits.value()));
+    out.record("creditStalls", static_cast<double>(_creditStalls.value()));
+    out.record("replayedFrames", static_cast<double>(_replays.value()));
+    out.record("ackTimeouts", static_cast<double>(_timeouts.value()));
+}
+
+// --------------------------------------------------------------- LlcRx
+
+LlcRx::LlcRx(std::string name, sim::EventQueue &eq,
+             const FlowParams &params, Wire &reverseWire)
+    : SimObject(std::move(name), eq), _params(params), _reverse(reverseWire)
+{
+}
+
+void
+LlcRx::requestReplay()
+{
+    if (_replayPendingFor)
+        return; // already asked for this _expected value
+    _replayPendingFor = true;
+    ControlMsg msg;
+    msg.replayRequest = true;
+    msg.replayFrom = _expected;
+    _reverse.sendCtrl(msg);
+}
+
+void
+LlcRx::returnCredit(bool withAck)
+{
+    ControlMsg msg;
+    msg.credits = 1;
+    if (withAck && _expected > 0) {
+        msg.hasAck = true;
+        msg.ack = _expected - 1;
+    }
+    _reverse.sendCtrl(msg);
+}
+
+void
+LlcRx::onFrame(FramePtr frame)
+{
+    TF_ASSERT(_sink != nullptr, "%s: no sink connected", name().c_str());
+
+    if (frame->corrupted) {
+        _corrupted.inc();
+        returnCredit(false);
+        requestReplay();
+        return;
+    }
+
+    if (frame->seq < _expected) {
+        // Duplicate of an already-delivered frame (replay overshoot).
+        _dups.inc();
+        returnCredit(true);
+        return;
+    }
+
+    if (frame->seq > _expected) {
+        // Gap: a frame was lost ahead of this one. Go-back-N discard.
+        _gaps.inc();
+        returnCredit(false);
+        requestReplay();
+        return;
+    }
+
+    // In-order frame: deliver its transactions, then return the credit
+    // once the ingress slot drains.
+    ++_expected;
+    _replayPendingFor = false;
+    _delivered.inc();
+    _txnsDelivered.inc(frame->txns.size());
+    for (auto &txn : frame->txns)
+        _sink(std::move(txn));
+    after(_params.rxDrainLatency, [this]() { returnCredit(true); });
+}
+
+void
+LlcRx::reportStats(sim::StatSet &out) const
+{
+    out.record("framesDelivered", static_cast<double>(_delivered.value()));
+    out.record("txnsDelivered",
+               static_cast<double>(_txnsDelivered.value()));
+    out.record("duplicates", static_cast<double>(_dups.value()));
+    out.record("gaps", static_cast<double>(_gaps.value()));
+    out.record("corrupted", static_cast<double>(_corrupted.value()));
+}
+
+// ---------------------------------------------------------- LlcChannel
+
+LlcChannel::LlcChannel(const std::string &name, sim::EventQueue &eq,
+                       const FlowParams &params, sim::Rng &rng)
+    : _wireAB(name + ".wireAB", eq, params, rng),
+      _wireBA(name + ".wireBA", eq, params, rng),
+      _txA(name + ".txA", eq, params, _wireAB),
+      _rxB(name + ".rxB", eq, params, _wireBA),
+      _txB(name + ".txB", eq, params, _wireBA),
+      _rxA(name + ".rxA", eq, params, _wireAB)
+{
+    _wireAB.connect([this](FramePtr f) { _rxB.onFrame(std::move(f)); },
+                    [this](ControlMsg m) { _txB.onCtrl(m); });
+    _wireBA.connect([this](FramePtr f) { _rxA.onFrame(std::move(f)); },
+                    [this](ControlMsg m) { _txA.onCtrl(m); });
+}
+
+} // namespace tf::flow

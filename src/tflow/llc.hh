@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Link-Layer Control (LLC) protocol (Section IV-A4).
+ *
+ * The LLC provides a reliable channel over the raw transceivers:
+ *
+ *  - Backpressure: a credit-based scheme protects the Rx ingress queue.
+ *    Each credit is one empty frame slot; credits are piggybacked on
+ *    transaction headers flowing in the reverse direction (modelled as
+ *    latency-only control messages).
+ *  - Reliability: transactions are grouped into fixed-size frames;
+ *    incomplete frames are padded with single-flit nop headers for
+ *    immediate transmission. Frames carry in-order sequence numbers;
+ *    on a gap or CRC error the Rx side requests an in-order replay
+ *    (go-back-N) via special single-flit in-band messages. The Tx side
+ *    holds sent frames in a replay buffer until cumulatively acked.
+ *
+ * Simplifications vs real hardware, kept honest by tests:
+ *  - Control messages are never lost (they piggyback on a healthy
+ *    reverse direction); a Tx-side ack timeout still covers tail loss.
+ *  - Credits are conservatively capped at the initial allotment, so
+ *    refund races heal instead of accumulating.
+ */
+
+#ifndef TF_FLOW_LLC_HH
+#define TF_FLOW_LLC_HH
+
+#include <deque>
+#include <functional>
+
+#include "sim/rng.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "tflow/frame.hh"
+#include "tflow/params.hh"
+
+namespace tf::flow {
+
+/**
+ * One direction of a network channel's raw wire: 4 bonded GTY
+ * transceivers (100 Gb/s), one serDES crossing plus cable propagation,
+ * with optional frame loss/corruption injection. Control messages pay
+ * latency only (they piggyback on headers).
+ */
+class Wire : public sim::SimObject
+{
+  public:
+    using FrameFn = std::function<void(FramePtr)>;
+    using CtrlFn = std::function<void(ControlMsg)>;
+
+    Wire(std::string name, sim::EventQueue &eq, const FlowParams &params,
+         sim::Rng &rng);
+
+    void connect(FrameFn onFrame, CtrlFn onCtrl);
+
+    /** Transmit a frame (full frame size on the wire, padding included). */
+    void sendFrame(FramePtr frame);
+
+    /** Transmit piggybacked control info (latency only). */
+    void sendCtrl(ControlMsg msg);
+
+    /** Time at which the wire can accept the next frame. */
+    sim::Tick nextFree() const { return _nextFree; }
+
+    std::uint64_t framesSent() const { return _framesSent.value(); }
+    std::uint64_t framesDropped() const { return _framesDropped.value(); }
+    std::uint64_t framesCorrupted() const { return _framesCorrupted.value(); }
+    std::uint64_t wireBytes() const { return _wireBytes.value(); }
+
+    /** Wire utilisation over [0, now]: busy fraction. */
+    double utilisation() const;
+
+  private:
+    const FlowParams &_params;
+    sim::Rng &_rng;
+    FrameFn _onFrame;
+    CtrlFn _onCtrl;
+    sim::Tick _nextFree = 0;
+    sim::Tick _busy = 0;
+    sim::Counter _framesSent;
+    sim::Counter _framesDropped;
+    sim::Counter _framesCorrupted;
+    sim::Counter _wireBytes;
+};
+
+/**
+ * LLC transmit side: frame assembly, credit gating, replay buffer.
+ */
+class LlcTx : public sim::SimObject
+{
+  public:
+    LlcTx(std::string name, sim::EventQueue &eq, const FlowParams &params,
+          Wire &wire);
+
+    /** Queue a transaction for transmission. */
+    void enqueue(mem::TxnPtr txn);
+
+    /** Deliver reverse-direction control info (credits/acks/replay). */
+    void onCtrl(const ControlMsg &msg);
+
+    std::uint32_t credits() const { return _credits; }
+    std::size_t queueDepth() const { return _queue.size(); }
+    std::size_t replayBufDepth() const { return _replayBuf.size(); }
+
+    std::uint64_t framesSent() const { return _framesSent.value(); }
+    std::uint64_t txnsSent() const { return _txnsSent.value(); }
+    std::uint64_t padFlitsSent() const { return _padFlits.value(); }
+    std::uint64_t creditStalls() const { return _creditStalls.value(); }
+    std::uint64_t replayedFrames() const { return _replays.value(); }
+    std::uint64_t timeouts() const { return _timeouts.value(); }
+
+    void reportStats(sim::StatSet &out) const;
+
+  private:
+    const FlowParams &_params;
+    Wire &_wire;
+    std::deque<mem::TxnPtr> _queue;
+    std::deque<FramePtr> _replayBuf; // oldest unacked first
+    std::uint32_t _credits;
+    FrameSeq _nextSeq = 0;
+    bool _kickScheduled = false;
+    sim::EventQueue::EventId _ackTimer = sim::EventQueue::invalidEvent;
+
+    sim::Counter _framesSent;
+    sim::Counter _txnsSent;
+    sim::Counter _padFlits;
+    sim::Counter _creditStalls;
+    sim::Counter _replays;
+    sim::Counter _timeouts;
+
+    void scheduleKick(sim::Tick when);
+    void trySend();
+    FramePtr assembleFrame();
+    void transmit(const FramePtr &frame, bool replay);
+    void refundCredits(std::uint32_t n);
+    void armTimer();
+    void disarmTimer();
+    void onAckTimeout();
+    void replayFrom(FrameSeq seq);
+};
+
+/**
+ * LLC receive side: in-order delivery, gap/corruption detection,
+ * credit return after ingress-queue drain.
+ */
+class LlcRx : public sim::SimObject
+{
+  public:
+    using SinkFn = std::function<void(mem::TxnPtr)>;
+
+    LlcRx(std::string name, sim::EventQueue &eq, const FlowParams &params,
+          Wire &reverseWire);
+
+    void connectSink(SinkFn sink) { _sink = std::move(sink); }
+
+    /** Frame arrival from the forward wire. */
+    void onFrame(FramePtr frame);
+
+    FrameSeq expectedSeq() const { return _expected; }
+
+    std::uint64_t framesDelivered() const { return _delivered.value(); }
+    std::uint64_t txnsDelivered() const { return _txnsDelivered.value(); }
+    std::uint64_t duplicates() const { return _dups.value(); }
+    std::uint64_t gapsDetected() const { return _gaps.value(); }
+    std::uint64_t corruptedSeen() const { return _corrupted.value(); }
+
+    void reportStats(sim::StatSet &out) const;
+
+  private:
+    const FlowParams &_params;
+    Wire &_reverse;
+    SinkFn _sink;
+    FrameSeq _expected = 0;
+    bool _replayPendingFor = false; ///< replay already requested for
+                                    ///< the current _expected value
+    sim::Counter _delivered;
+    sim::Counter _txnsDelivered;
+    sim::Counter _dups;
+    sim::Counter _gaps;
+    sim::Counter _corrupted;
+
+    void requestReplay();
+    void returnCredit(bool withAck);
+};
+
+/**
+ * A bidirectional network channel: one wire + LLC endpoint pair in each
+ * direction. Side A is the compute endpoint side by convention, but the
+ * channel itself is symmetric (responses are frames too).
+ */
+class LlcChannel
+{
+  public:
+    LlcChannel(const std::string &name, sim::EventQueue &eq,
+               const FlowParams &params, sim::Rng &rng);
+
+    LlcTx &txA() { return _txA; }
+    LlcRx &rxA() { return _rxA; }
+    LlcTx &txB() { return _txB; }
+    LlcRx &rxB() { return _rxB; }
+    Wire &wireAB() { return _wireAB; }
+    Wire &wireBA() { return _wireBA; }
+
+  private:
+    Wire _wireAB;
+    Wire _wireBA;
+    LlcTx _txA; ///< A -> B data
+    LlcRx _rxB; ///< receives A's data at B
+    LlcTx _txB; ///< B -> A data
+    LlcRx _rxA; ///< receives B's data at A
+};
+
+} // namespace tf::flow
+
+#endif // TF_FLOW_LLC_HH

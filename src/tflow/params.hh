@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Calibration constants for the ThymesisFlow datapath.
+ *
+ * Provenance (paper Section V, VI-C):
+ *  - Flit RTT ~950 ns = 4 FPGA-stack crossings + 6 serDES crossings
+ *    (2 at the compute endpoint, 2 for the network, 2 at the
+ *    memory-stealing endpoint) plus cabling:
+ *        6 x 75 ns (serDES) + 4 x 115 ns (FPGA stack) + 2 x 20 ns (wire)
+ *        = 950 ns.
+ *  - Host OpenCAPI attachment: 8 x GTY transceivers at 25 Gbit/s
+ *    = 200 Gbit/s = 25 GB/s.
+ *  - Each network channel: 4 bonded GTY transceivers at 25 Gbit/s
+ *    = 100 Gbit/s = 12.5 GB/s; two independent channels per card.
+ *  - LLC datapath is 32 B wide at 401 MHz (12.83 GB/s), matching the
+ *    channel rate; flits are 32 B.
+ *  - A 128 B data-bearing transaction is 1 header flit + 4 data flits.
+ */
+
+#ifndef TF_FLOW_PARAMS_HH
+#define TF_FLOW_PARAMS_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace tf::flow {
+
+struct FlowParams
+{
+    // ---- latency elements (see file header for the 950 ns budget) ----
+    sim::Tick serdesLatency = sim::nanoseconds(75);
+    sim::Tick fpgaStackLatency = sim::nanoseconds(115);
+    sim::Tick wireLatency = sim::nanoseconds(20);
+
+    // ---- bandwidth ----
+    /** Host OpenCAPI link (shared by both channels), bytes/s. */
+    double hostLinkBps = 25e9;
+    /** One network channel (4 x 25 Gb/s bonded), bytes/s. */
+    double channelBps = 12.5e9;
+    /** Number of independent network channels on the card. */
+    int channels = 2;
+
+    // ---- LLC framing ----
+    std::uint32_t flitBytes = 32;
+    /** Flits per fixed-size LLC frame (padded with nops if short). */
+    std::uint32_t frameFlits = 16;
+
+    // ---- LLC credits / reliability ----
+    /** Rx ingress queue depth, in frames; equals initial Tx credits. */
+    std::uint32_t rxQueueFrames = 64;
+    /** Tx replay buffer capacity, in frames. */
+    std::uint32_t replayBufferFrames = 256;
+    /** Tx-side safety retransmit timeout for unacked frames. */
+    sim::Tick ackTimeout = sim::microseconds(20);
+    /** Per-frame probability of loss/corruption on the wire. */
+    double frameErrorRate = 0.0;
+
+    // ---- endpoint ----
+    /** Outstanding-transaction tags at the compute endpoint. */
+    std::uint32_t maxTags = 256;
+    /** Frame drain time at Rx before its credit is returned. */
+    sim::Tick rxDrainLatency = sim::nanoseconds(40);
+
+    /** One-way latency for piggybacked control info (credits/acks). */
+    sim::Tick
+    controlLatency() const
+    {
+        return serdesLatency + wireLatency;
+    }
+};
+
+} // namespace tf::flow
+
+#endif // TF_FLOW_PARAMS_HH

@@ -1,0 +1,86 @@
+#include "tflow/rmmu.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace tf::flow {
+
+SectionTable::SectionTable(std::uint64_t sectionBytes, std::size_t entries)
+    : _sectionBytes(sectionBytes), _table(entries)
+{
+    TF_ASSERT(sectionBytes > 0 && std::has_single_bit(sectionBytes),
+              "section size must be a power of two");
+    TF_ASSERT(entries > 0, "empty section table");
+    _shift = static_cast<unsigned>(std::countr_zero(sectionBytes));
+}
+
+std::size_t
+SectionTable::indexOf(mem::Addr internal) const
+{
+    return static_cast<std::size_t>(internal >> _shift);
+}
+
+void
+SectionTable::map(std::size_t index, mem::Addr remoteBase,
+                  mem::NetworkId networkId, bool bonded)
+{
+    TF_ASSERT(index < _table.size(), "section index out of range");
+    TF_ASSERT(networkId != mem::invalidNetworkId, "invalid network id");
+    SectionEntry &e = _table[index];
+    if (!e.valid)
+        ++_mapped;
+    e.valid = true;
+    e.remoteBase = remoteBase;
+    e.networkId = networkId;
+    e.bonded = bonded;
+}
+
+void
+SectionTable::unmap(std::size_t index)
+{
+    TF_ASSERT(index < _table.size(), "section index out of range");
+    if (_table[index].valid)
+        --_mapped;
+    _table[index] = SectionEntry{};
+}
+
+const SectionEntry &
+SectionTable::entry(std::size_t index) const
+{
+    TF_ASSERT(index < _table.size(), "section index out of range");
+    return _table[index];
+}
+
+const SectionEntry &
+SectionTable::lookup(mem::Addr internal) const
+{
+    static const SectionEntry invalid{};
+    std::size_t idx = indexOf(internal);
+    if (idx >= _table.size())
+        return invalid;
+    return _table[idx];
+}
+
+Rmmu::Rmmu(std::string name, SectionTable table)
+    : _name(std::move(name)), _table(std::move(table))
+{
+}
+
+bool
+Rmmu::translate(mem::MemTxn &txn)
+{
+    const SectionEntry &e = _table.lookup(txn.addr);
+    if (!e.valid) {
+        _faults.inc();
+        return false;
+    }
+    mem::Addr offset = txn.addr & (_table.sectionBytes() - 1);
+    txn.addr = e.remoteBase + offset;
+    txn.networkId = e.networkId;
+    txn.bonded = e.bonded;
+    _translations.inc();
+    return true;
+}
+
+} // namespace tf::flow

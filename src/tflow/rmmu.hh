@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Remote Memory Management Unit (Section IV-A1, Fig. 3).
+ *
+ * The RMMU sits in the compute endpoint. It receives transactions in
+ * the device-internal address space (starting at 0x0) and rewrites each
+ * address into a valid effective address at the memory-stealing
+ * endpoint, attaching the network identifier used by the routing layer.
+ *
+ * The translation is table-driven at Linux sparse-memory-section
+ * granularity: one entry per section, indexed by a bit range of the
+ * transaction address. A section is the minimum unit of disaggregated
+ * memory that can be independently handled, and each section maps to a
+ * contiguous effective-address range on the donor. All transactions of
+ * one section form an "active thymesisflow" identified by its network
+ * id.
+ */
+
+#ifndef TF_FLOW_RMMU_HH
+#define TF_FLOW_RMMU_HH
+
+#include <optional>
+#include <vector>
+
+#include "mem/transaction.hh"
+#include "sim/stats.hh"
+
+namespace tf::flow {
+
+/** One section-table row. */
+struct SectionEntry
+{
+    bool valid = false;
+    /** Donor effective address of the section base. */
+    mem::Addr remoteBase = 0;
+    /** Active-thymesisflow identifier used by the routing layer. */
+    mem::NetworkId networkId = mem::invalidNetworkId;
+    /** Forward over all bonded channels round-robin. */
+    bool bonded = false;
+};
+
+class SectionTable
+{
+  public:
+    /**
+     * @param sectionBytes section size; must be a power of two.
+     * @param entries table capacity (device window / section size).
+     */
+    SectionTable(std::uint64_t sectionBytes, std::size_t entries);
+
+    std::uint64_t sectionBytes() const { return _sectionBytes; }
+    std::size_t entries() const { return _table.size(); }
+
+    /** Section index for a device-internal address. */
+    std::size_t indexOf(mem::Addr internal) const;
+
+    /** Install a mapping for section @p index. */
+    void map(std::size_t index, mem::Addr remoteBase,
+             mem::NetworkId networkId, bool bonded);
+
+    /** Remove the mapping for section @p index. */
+    void unmap(std::size_t index);
+
+    const SectionEntry &entry(std::size_t index) const;
+
+    /** Look up the entry covering @p internal (invalid if unmapped). */
+    const SectionEntry &lookup(mem::Addr internal) const;
+
+    std::size_t mappedCount() const { return _mapped; }
+
+  private:
+    std::uint64_t _sectionBytes;
+    unsigned _shift;
+    std::vector<SectionEntry> _table;
+    std::size_t _mapped = 0;
+};
+
+/**
+ * The translation engine: applies the section-table transformation to
+ * transactions in flight. Faults (accesses to unmapped sections) are
+ * counted and reported; the paper's control plane guarantees only legal
+ * destinations are configured, so faulting transactions fail fast.
+ */
+class Rmmu
+{
+  public:
+    Rmmu(std::string name, SectionTable table);
+
+    SectionTable &table() { return _table; }
+    const SectionTable &table() const { return _table; }
+
+    /**
+     * Translate a transaction in place: device-internal address ->
+     * donor effective address + network id + bonding flag.
+     * @return false on a fault (unmapped section); txn is untouched.
+     */
+    bool translate(mem::MemTxn &txn);
+
+    std::uint64_t translations() const { return _translations.value(); }
+    std::uint64_t faults() const { return _faults.value(); }
+
+  private:
+    std::string _name;
+    SectionTable _table;
+    sim::Counter _translations;
+    sim::Counter _faults;
+};
+
+} // namespace tf::flow
+
+#endif // TF_FLOW_RMMU_HH

@@ -1,0 +1,82 @@
+#include "tflow/routing.hh"
+
+#include "sim/logging.hh"
+
+namespace tf::flow {
+
+void
+RoutingLayer::setRoute(mem::NetworkId id, std::vector<int> channels)
+{
+    TF_ASSERT(id != mem::invalidNetworkId, "invalid network id");
+    TF_ASSERT(!channels.empty(), "route needs at least one channel");
+    _routes[id] = Route{std::move(channels), 0};
+}
+
+void
+RoutingLayer::setWeightedRoute(mem::NetworkId id,
+                               std::vector<int> channels,
+                               std::vector<std::uint32_t> weights)
+{
+    TF_ASSERT(id != mem::invalidNetworkId, "invalid network id");
+    TF_ASSERT(!channels.empty(), "route needs at least one channel");
+    TF_ASSERT(channels.size() == weights.size(),
+              "one weight per channel");
+    for (std::uint32_t w : weights)
+        TF_ASSERT(w > 0, "weights must be positive");
+    Route route;
+    route.channels = std::move(channels);
+    route.weights = std::move(weights);
+    route.wrrCredit.assign(route.channels.size(), 0);
+    _routes[id] = std::move(route);
+}
+
+int
+RoutingLayer::weightedPick(Route &route)
+{
+    // Smooth weighted round-robin (nginx-style): add each weight to
+    // its credit, pick the highest credit, subtract the total.
+    std::int64_t total = 0;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < route.channels.size(); ++i) {
+        route.wrrCredit[i] +=
+            static_cast<std::int64_t>(route.weights[i]);
+        total += route.weights[i];
+        if (route.wrrCredit[i] > route.wrrCredit[best])
+            best = i;
+    }
+    route.wrrCredit[best] -= total;
+    return route.channels[best];
+}
+
+void
+RoutingLayer::clearRoute(mem::NetworkId id)
+{
+    _routes.erase(id);
+}
+
+bool
+RoutingLayer::hasRoute(mem::NetworkId id) const
+{
+    return _routes.find(id) != _routes.end();
+}
+
+int
+RoutingLayer::route(const mem::MemTxn &txn)
+{
+    auto it = _routes.find(txn.networkId);
+    if (it == _routes.end()) {
+        _dropped.inc();
+        return -1;
+    }
+    Route &r = it->second;
+    _routed.inc();
+    if (!txn.bonded || r.channels.size() == 1)
+        return r.channels.front();
+    if (!r.weights.empty())
+        return weightedPick(r);
+    int ch = r.channels[r.rr % r.channels.size()];
+    ++r.rr;
+    return ch;
+}
+
+} // namespace tf::flow

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Routing layer (Section IV-A3).
+ *
+ * Forwards translated transactions towards remote endpoints based on
+ * the network identifier in the transaction header. Any number of
+ * endpoints can be connected concurrently; each active thymesisflow
+ * (network id) is assigned a set of physical channels, and when the
+ * flow is in bonding mode its transactions are spread over the
+ * channels round-robin. A channel may be shared by many flows,
+ * bonded or not.
+ */
+
+#ifndef TF_FLOW_ROUTING_HH
+#define TF_FLOW_ROUTING_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/transaction.hh"
+#include "sim/stats.hh"
+
+namespace tf::flow {
+
+class RoutingLayer
+{
+  public:
+    /**
+     * Install or replace the route for a flow.
+     * @param channels indices of the physical channels the flow may
+     *        use; a bonded flow round-robins over all of them, a
+     *        non-bonded flow uses only the first.
+     */
+    void setRoute(mem::NetworkId id, std::vector<int> channels);
+
+    /**
+     * Weighted variant — the "more sophisticated channel sharing"
+     * extension of Section IV-A3: a bonded flow spreads transactions
+     * across its channels proportionally to @p weights (smooth
+     * weighted round-robin), enabling bandwidth allocation / QoS
+     * between flows sharing the physical channels.
+     * @pre channels.size() == weights.size(), weights > 0.
+     */
+    void setWeightedRoute(mem::NetworkId id, std::vector<int> channels,
+                          std::vector<std::uint32_t> weights);
+
+    /** Remove a flow's route. */
+    void clearRoute(mem::NetworkId id);
+
+    /** True if the flow has a route installed. */
+    bool hasRoute(mem::NetworkId id) const;
+
+    /**
+     * Pick the physical channel for a transaction.
+     * @return channel index, or -1 if the flow has no route.
+     */
+    int route(const mem::MemTxn &txn);
+
+    std::uint64_t routed() const { return _routed.value(); }
+    std::uint64_t dropped() const { return _dropped.value(); }
+    std::size_t flows() const { return _routes.size(); }
+
+  private:
+    struct Route
+    {
+        std::vector<int> channels;
+        std::size_t rr = 0; ///< round-robin cursor for bonded flows
+        /** Per-channel weights; empty = plain round-robin. */
+        std::vector<std::uint32_t> weights;
+        /** Smooth-WRR current credit per channel. */
+        std::vector<std::int64_t> wrrCredit;
+    };
+
+    int weightedPick(Route &route);
+
+    std::unordered_map<mem::NetworkId, Route> _routes;
+    sim::Counter _routed;
+    sim::Counter _dropped;
+};
+
+} // namespace tf::flow
+
+#endif // TF_FLOW_ROUTING_HH

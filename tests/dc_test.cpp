@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the Fig. 1 data-centre models: trace generation
+ * invariants, placement correctness, link limits, metric accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dc/simulation.hh"
+
+using namespace tf;
+using namespace tf::dc;
+
+TEST(TraceGen, SortedAndBounded)
+{
+    TraceParams tp;
+    tp.jobs = 5000;
+    TraceGenerator gen(tp, 1);
+    auto trace = gen.generate();
+    ASSERT_EQ(trace.size(), 5000u);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+    for (const auto &j : trace) {
+        EXPECT_GE(j.cpu, tp.minDemand);
+        EXPECT_LE(j.cpu, tp.maxDemand);
+        EXPECT_GE(j.mem, tp.minDemand);
+        EXPECT_LE(j.mem, tp.maxDemand);
+        EXPECT_GT(j.duration, 0u);
+    }
+}
+
+TEST(TraceGen, RatioSpansOrdersOfMagnitude)
+{
+    TraceParams tp;
+    tp.jobs = 20000;
+    tp.minDemand = 1e-6; // avoid clamping for this check
+    TraceGenerator gen(tp, 2);
+    auto trace = gen.generate();
+    int high = 0, low = 0;
+    for (const auto &j : trace) {
+        double ratio = j.mem / j.cpu;
+        if (ratio > 1.0)
+            ++high;
+        if (ratio < 0.01)
+            ++low;
+    }
+    // Both cpu-heavy and mem-heavy jobs exist in volume.
+    EXPECT_GT(high, 1000);
+    EXPECT_GT(low, 300);
+}
+
+TEST(TraceGen, Deterministic)
+{
+    TraceParams tp;
+    tp.jobs = 100;
+    auto a = TraceGenerator(tp, 7).generate();
+    auto b = TraceGenerator(tp, 7).generate();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cpu, b[i].cpu);
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+    }
+}
+
+TEST(FixedModelT, PlaceAndRemoveRestoresState)
+{
+    FixedModel model(4);
+    Job job{1, 0.5, 0.5, 0, 100};
+    ASSERT_TRUE(model.place(job));
+    auto m = model.metrics();
+    EXPECT_DOUBLE_EQ(m.cpuOff, 0.75);
+    EXPECT_NEAR(m.cpuFragmentation, 0.5 / 4, 1e-12);
+    model.remove(1);
+    m = model.metrics();
+    EXPECT_DOUBLE_EQ(m.cpuOff, 1.0);
+    EXPECT_DOUBLE_EQ(m.cpuFragmentation, 0.0);
+}
+
+TEST(FixedModelT, BestFitPacks)
+{
+    FixedModel model(3, FixedModel::Placement::BestFit);
+    ASSERT_TRUE(model.place(Job{1, 0.5, 0.5, 0, 1}));
+    ASSERT_TRUE(model.place(Job{2, 0.4, 0.4, 0, 1}));
+    // Both land on the same server (minimum leftover).
+    EXPECT_DOUBLE_EQ(model.metrics().cpuOff, 2.0 / 3.0);
+}
+
+TEST(FixedModelT, LeastLoadedSpreads)
+{
+    FixedModel model(3, FixedModel::Placement::LeastLoaded);
+    ASSERT_TRUE(model.place(Job{1, 0.3, 0.3, 0, 1}));
+    ASSERT_TRUE(model.place(Job{2, 0.3, 0.3, 0, 1}));
+    ASSERT_TRUE(model.place(Job{3, 0.3, 0.3, 0, 1}));
+    EXPECT_DOUBLE_EQ(model.metrics().cpuOff, 0.0);
+}
+
+TEST(FixedModelT, RejectsWhenNothingFits)
+{
+    FixedModel model(1);
+    ASSERT_TRUE(model.place(Job{1, 0.6, 0.1, 0, 1}));
+    EXPECT_FALSE(model.place(Job{2, 0.6, 0.1, 0, 1}));
+    EXPECT_EQ(model.rejected(), 1u);
+}
+
+TEST(FixedModelT, BiDimensionalConstraint)
+{
+    FixedModel model(1);
+    ASSERT_TRUE(model.place(Job{1, 0.1, 0.9, 0, 1}));
+    // CPU would fit, memory does not.
+    EXPECT_FALSE(model.place(Job{2, 0.1, 0.2, 0, 1}));
+}
+
+TEST(DisaggModelT, SplitsMemoryAcrossModules)
+{
+    DisaggModel model(2, 2, 16);
+    // 1.4 machine-units of memory cannot fit one module.
+    ASSERT_TRUE(model.place(Job{1, 0.2, 0.95, 0, 1}));
+    ASSERT_TRUE(model.place(Job{2, 0.2, 0.95, 0, 1}));
+    auto m = model.metrics();
+    EXPECT_DOUBLE_EQ(m.memOff, 0.0); // both modules carry memory
+    EXPECT_NEAR(m.memFragmentation, (2.0 - 1.9) / 2.0, 1e-9);
+}
+
+TEST(DisaggModelT, LinkLimitEnforced)
+{
+    // One compute module with only 1 link: a job needing memory from
+    // two modules must fail.
+    DisaggModel model(1, 4, 1);
+    ASSERT_TRUE(model.place(Job{1, 0.1, 0.9, 0, 1}));
+    // 0.9 left on the linked module is too small for 0.95 and a
+    // second link is not available.
+    EXPECT_FALSE(model.place(Job{2, 0.1, 0.95, 0, 1}));
+    EXPECT_EQ(model.rejected(), 1u);
+}
+
+TEST(DisaggModelT, RemoveReleasesLinks)
+{
+    DisaggModel model(1, 4, 1);
+    ASSERT_TRUE(model.place(Job{1, 0.1, 0.9, 0, 1}));
+    model.remove(1);
+    // Link freed: a fresh large job fits again.
+    EXPECT_TRUE(model.place(Job{2, 0.1, 0.95, 0, 1}));
+}
+
+TEST(DisaggModelT, DecouplesStranding)
+{
+    // CPU-heavy jobs strand memory on fixed servers; the
+    // disaggregated model pools the leftover memory into unused
+    // modules that can be switched off.
+    FixedModel fixed(4);
+    DisaggModel disagg(4, 4, 16);
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+        Job job{id, 0.9, 0.1, 0, 1};
+        ASSERT_TRUE(fixed.place(job));
+        ASSERT_TRUE(disagg.place(job));
+    }
+    // Fixed: 3 servers on, each wasting 0.9 memory.
+    EXPECT_NEAR(fixed.metrics().memFragmentation, 2.7 / 4, 1e-9);
+    // Disagg: all memory packs into one module; the rest are off.
+    EXPECT_GT(disagg.metrics().memOff, fixed.metrics().memOff);
+    EXPECT_LT(disagg.metrics().memFragmentation,
+              fixed.metrics().memFragmentation / 3);
+}
+
+TEST(SimulationT, StableUnderEmptyTrace)
+{
+    DataCentreSimulation sim;
+    FixedModel model(4);
+    auto res = sim.run(model, {});
+    EXPECT_EQ(res.placed, 0u);
+}
+
+TEST(SimulationT, PlacesAndCompletes)
+{
+    TraceParams tp;
+    tp.jobs = 2000;
+    tp.cpuMu = std::log(0.02);
+    TraceGenerator gen(tp, 3);
+    auto trace = gen.generate();
+    DataCentreSimulation sim(0.1);
+    FixedModel model(200);
+    auto res = sim.run(model, trace);
+    EXPECT_EQ(res.placed + res.rejectedAtArrival, trace.size());
+    EXPECT_GT(res.placed, trace.size() * 9 / 10);
+    // After the run everything departed.
+    EXPECT_DOUBLE_EQ(model.metrics().cpuOff, 1.0);
+}

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: transactions, backing store,
+ * DRAM model and cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/transaction.hh"
+
+using namespace tf;
+using namespace tf::mem;
+
+TEST(Txn, MakeTxnAssignsUniqueIds)
+{
+    auto a = makeTxn(TxnType::ReadReq, 0x1000);
+    auto b = makeTxn(TxnType::WriteReq, 0x2000);
+    EXPECT_NE(a->id, b->id);
+    EXPECT_EQ(a->size, cachelineBytes);
+    EXPECT_EQ(a->origAddr, 0x1000u);
+}
+
+TEST(Txn, ResponseFlip)
+{
+    auto txn = makeTxn(TxnType::ReadReq, 0x80);
+    txn->makeResponse();
+    EXPECT_EQ(txn->type, TxnType::ReadResp);
+    EXPECT_TRUE(txn->isRead());
+    EXPECT_FALSE(isRequest(txn->type));
+}
+
+TEST(Txn, CompleteFiresOnce)
+{
+    auto txn = makeTxn(TxnType::WriteReq, 0x80);
+    int fired = 0;
+    txn->onComplete = [&](MemTxn &) { ++fired; };
+    txn->complete();
+    txn->complete();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Txn, FlitCounts)
+{
+    // 32B flits: header + 4 data flits for 128B payloads.
+    auto rd = makeTxn(TxnType::ReadReq, 0);
+    EXPECT_EQ(flitCount(*rd), 1u);
+    rd->makeResponse();
+    EXPECT_EQ(flitCount(*rd), 5u);
+
+    auto wr = makeTxn(TxnType::WriteReq, 0);
+    EXPECT_EQ(flitCount(*wr), 5u);
+    wr->makeResponse();
+    EXPECT_EQ(flitCount(*wr), 1u);
+}
+
+TEST(Addr, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x100), 0x1200u);
+    EXPECT_EQ(alignUp(0x1234, 0x100), 0x1300u);
+    EXPECT_EQ(alignUp(0x1200, 0x100), 0x1200u);
+    EXPECT_TRUE(isAligned(0x1200, 0x100));
+    EXPECT_FALSE(isAligned(0x1201, 0x100));
+}
+
+TEST(BackingStore, ReadBackWritten)
+{
+    BackingStore store;
+    store.write64(0x1000, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(store.read64(0x1000), 0xdeadbeefcafef00dULL);
+}
+
+TEST(BackingStore, ZeroFilledByDefault)
+{
+    BackingStore store;
+    EXPECT_EQ(store.read64(0x123456), 0u);
+}
+
+TEST(BackingStore, CrossPageAccess)
+{
+    BackingStore store;
+    std::vector<std::uint8_t> out(256), in(256);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>(i);
+    Addr addr = pageBytes - 100; // straddles a page boundary
+    store.write(addr, in.data(), in.size());
+    store.read(addr, out.data(), out.size());
+    EXPECT_EQ(in, out);
+    EXPECT_EQ(store.touchedPages(), 2u);
+}
+
+namespace {
+
+struct DramFixture : ::testing::Test
+{
+    sim::EventQueue eq;
+    BackingStore store;
+    DramParams params;
+    std::unique_ptr<Dram> dram;
+
+    void
+    SetUp() override
+    {
+        params.accessLatency = sim::nanoseconds(90);
+        params.bandwidthBps = 128e9; // 1 ns per 128B line
+        dram = std::make_unique<Dram>("dram", eq, params, &store);
+    }
+};
+
+} // namespace
+
+TEST_F(DramFixture, SingleAccessLatency)
+{
+    auto txn = makeTxn(TxnType::ReadReq, 0x1000);
+    sim::Tick done_at = 0;
+    dram->access(txn, [&](TxnPtr t) {
+        done_at = eq.now();
+        EXPECT_EQ(t->type, TxnType::ReadResp);
+        EXPECT_EQ(t->data.size(), cachelineBytes);
+    });
+    eq.run();
+    // 1 ns serialization + 90 ns access.
+    EXPECT_EQ(done_at, sim::nanoseconds(91));
+}
+
+TEST_F(DramFixture, BandwidthSerialisesBackToBack)
+{
+    // 100 simultaneous reads: completions spaced by the 1 ns
+    // serialization delay of a 128B line at 128 GB/s.
+    std::vector<sim::Tick> completions;
+    for (int i = 0; i < 100; ++i) {
+        auto txn = makeTxn(TxnType::ReadReq,
+                           static_cast<Addr>(i) * cachelineBytes);
+        dram->access(txn,
+                     [&](TxnPtr) { completions.push_back(eq.now()); });
+    }
+    eq.run();
+    ASSERT_EQ(completions.size(), 100u);
+    EXPECT_EQ(completions.front(), sim::nanoseconds(91));
+    EXPECT_EQ(completions.back(), sim::nanoseconds(190));
+    for (std::size_t i = 1; i < completions.size(); ++i)
+        EXPECT_EQ(completions[i] - completions[i - 1],
+                  sim::nanoseconds(1));
+}
+
+TEST_F(DramFixture, FunctionalWriteThenRead)
+{
+    auto wr = makeTxn(TxnType::WriteReq, 0x2000);
+    wr->data.assign(cachelineBytes, 0xab);
+    bool wrote = false;
+    dram->access(wr, [&](TxnPtr) { wrote = true; });
+    eq.run();
+    ASSERT_TRUE(wrote);
+
+    auto rd = makeTxn(TxnType::ReadReq, 0x2000);
+    dram->access(rd, [&](TxnPtr t) {
+        for (auto byte : t->data)
+            EXPECT_EQ(byte, 0xab);
+    });
+    eq.run();
+    EXPECT_EQ(dram->reads(), 1u);
+    EXPECT_EQ(dram->writes(), 1u);
+    EXPECT_EQ(dram->bytesMoved(), 2u * cachelineBytes);
+}
+
+TEST(CacheModel, HitAfterFill)
+{
+    Cache cache({1024 * 128, 8, 128});
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1040, false).hit); // same line
+    EXPECT_FALSE(cache.access(0x1080, false).hit); // next line
+}
+
+TEST(CacheModel, LruEviction)
+{
+    // Direct calculation: 2 KiB cache, 2 ways, 128B lines -> 8 sets.
+    Cache cache({2048, 2, 128});
+    EXPECT_EQ(cache.sets(), 8u);
+    // Three lines mapping to set 0: addresses 0, 8*128, 16*128.
+    EXPECT_FALSE(cache.access(0, false).hit);
+    EXPECT_FALSE(cache.access(8 * 128, false).hit);
+    EXPECT_TRUE(cache.access(0, false).hit); // refresh line 0
+    // Fill third line: evicts 8*128 (LRU), not 0.
+    EXPECT_FALSE(cache.access(16 * 128, false).hit);
+    EXPECT_TRUE(cache.access(0, false).hit);
+    EXPECT_FALSE(cache.access(8 * 128, false).hit);
+}
+
+TEST(CacheModel, DirtyEvictionReportsWriteback)
+{
+    Cache cache({2048, 2, 128});
+    cache.access(0, true); // dirty line in set 0
+    cache.access(8 * 128, false);
+    auto res = cache.access(16 * 128, false); // evicts dirty line 0
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.victimAddr, 0u);
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(CacheModel, StreamingDefeatsCache)
+{
+    Cache cache({1024 * 1024, 8, 128});
+    // One pass over 16 MiB: every access a miss.
+    for (Addr a = 0; a < 16 * 1024 * 1024; a += 128)
+        cache.access(a, false);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_DOUBLE_EQ(cache.hitRatio(), 0.0);
+}
+
+TEST(CacheModel, HotSetStaysResident)
+{
+    Cache cache({1024 * 1024, 8, 128});
+    // Working set: 256 KiB, fits. First pass misses, then all hits.
+    for (int pass = 0; pass < 4; ++pass)
+        for (Addr a = 0; a < 256 * 1024; a += 128)
+            cache.access(a, false);
+    EXPECT_EQ(cache.misses(), 2048u);
+    EXPECT_EQ(cache.hits(), 3u * 2048u);
+    cache.flush();
+    EXPECT_FALSE(cache.access(0, false).hit);
+}

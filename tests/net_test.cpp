@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the message-level Ethernet model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/ethernet.hh"
+
+using namespace tf;
+using namespace tf::net;
+
+TEST(EthLinkT, LatencyPlusSerialisation)
+{
+    sim::EventQueue eq;
+    EthParams params;
+    params.bandwidthBps = 1.25e9; // 10 Gb/s
+    params.latency = sim::microseconds(25);
+    params.perMessageOverhead = sim::microseconds(2);
+    EthLink link("l", eq, params);
+
+    sim::Tick arrival = 0;
+    link.send(12500, [&] { arrival = eq.now(); }); // 10 us at line rate
+    eq.run();
+    EXPECT_EQ(arrival, sim::microseconds(10 + 2 + 25));
+    EXPECT_EQ(link.messages(), 1u);
+    EXPECT_EQ(link.bytesSent(), 12500u);
+}
+
+TEST(EthLinkT, BackToBackMessagesQueue)
+{
+    sim::EventQueue eq;
+    EthParams params;
+    params.bandwidthBps = 1.25e9;
+    params.latency = sim::microseconds(25);
+    params.perMessageOverhead = 0;
+    EthLink link("l", eq, params);
+
+    std::vector<sim::Tick> arrivals;
+    for (int i = 0; i < 3; ++i)
+        link.send(12500, [&] { arrivals.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(arrivals.size(), 3u);
+    EXPECT_EQ(arrivals[0], sim::microseconds(35));
+    EXPECT_EQ(arrivals[1], sim::microseconds(45)); // serialised
+    EXPECT_EQ(arrivals[2], sim::microseconds(55));
+}
+
+TEST(EthLinkT, EstimateIncludesQueueing)
+{
+    sim::EventQueue eq;
+    EthParams params = EthParams::tenGig();
+    EthLink link("l", eq, params);
+    sim::Tick empty = link.estimate(1250);
+    link.send(1250000, [] {}); // ~1 ms of backlog
+    EXPECT_GT(link.estimate(1250), empty);
+}
+
+TEST(NetworkT, DuplexAndAddressing)
+{
+    sim::EventQueue eq;
+    Network net("n", eq);
+    net.connect("a", "b", EthParams::hundredGig());
+    EXPECT_TRUE(net.connected("a", "b"));
+    EXPECT_TRUE(net.connected("b", "a"));
+    EXPECT_FALSE(net.connected("a", "c"));
+
+    int delivered = 0;
+    net.send("a", "b", 1000, [&] { ++delivered; });
+    net.send("b", "a", 1000, [&] { ++delivered; });
+    eq.run();
+    EXPECT_EQ(delivered, 2);
+}
+
+TEST(NetworkT, DirectionsAreIndependentLinks)
+{
+    sim::EventQueue eq;
+    Network net("n", eq);
+    EthParams params;
+    params.bandwidthBps = 1.25e9;
+    params.latency = sim::microseconds(10);
+    params.perMessageOverhead = 0;
+    net.connect("a", "b", params);
+
+    // Saturate a->b; b->a latency must stay unaffected.
+    for (int i = 0; i < 10; ++i)
+        net.send("a", "b", 125000, [] {});
+    sim::Tick reverse_arrival = 0;
+    net.send("b", "a", 1250, [&] { reverse_arrival = eq.now(); });
+    eq.run();
+    EXPECT_EQ(reverse_arrival, sim::microseconds(1 + 10));
+}
+
+TEST(NetworkT, HundredGigFasterThanTen)
+{
+    sim::EventQueue eq;
+    Network net("n", eq);
+    net.connect("a", "b", EthParams::tenGig());
+    net.connect("a", "c", EthParams::hundredGig());
+    EXPECT_GT(net.estimate("a", "b", 1000000),
+              net.estimate("a", "c", 1000000));
+}

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for the OS support layer: NUMA topology, sparse-section memory
+ * manager with hotplug, allocation policies, address spaces and
+ * AutoNUMA page migration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "os/address_space.hh"
+#include "os/memory_manager.hh"
+#include "os/migration.hh"
+#include "os/numa.hh"
+#include "os/swap.hh"
+
+using namespace tf;
+using namespace tf::os;
+
+namespace {
+
+constexpr std::uint64_t kSection = 1 << 22; // 4 MiB sections in tests
+constexpr std::uint64_t kPage = 64 * 1024;
+
+struct OsFixture : ::testing::Test
+{
+    NumaTopology topo;
+    std::unique_ptr<MemoryManager> mm;
+    NodeId local = invalidNode;
+    NodeId remote = invalidNode; // CPU-less disaggregated node
+
+    void
+    SetUp() override
+    {
+        local = topo.addNode("local", true);
+        remote = topo.addNode("tflow0", false);
+        topo.setDistance(local, remote, 80);
+        mm = std::make_unique<MemoryManager>(topo, kSection, kPage);
+        // Boot memory: 4 sections on the local node.
+        for (int i = 0; i < 4; ++i)
+            ASSERT_TRUE(mm->onlineSection(
+                local, static_cast<mem::Addr>(i) * kSection));
+    }
+};
+
+} // namespace
+
+TEST(NumaTopologyT, DistancesAndCpulessNodes)
+{
+    NumaTopology topo;
+    NodeId a = topo.addNode("n0", true);
+    NodeId b = topo.addNode("n1", true);
+    NodeId c = topo.addNode("tflow", false);
+    topo.setDistance(a, b, 20);
+    topo.setDistance(a, c, 80);
+    topo.setDistance(b, c, 80);
+
+    EXPECT_EQ(topo.distance(a, a), 10);
+    EXPECT_EQ(topo.distance(a, b), 20);
+    EXPECT_EQ(topo.distance(b, a), 20);
+    EXPECT_EQ(topo.cpulessNodes(), std::vector<NodeId>{c});
+
+    auto order = topo.byDistance(a);
+    EXPECT_EQ(order.front(), a);
+    EXPECT_EQ(order.back(), c);
+}
+
+TEST_F(OsFixture, HotplugAddsPages)
+{
+    EXPECT_EQ(mm->totalPages(local), 4 * (kSection / kPage));
+    EXPECT_EQ(mm->freePages(local), mm->totalPages(local));
+    EXPECT_EQ(mm->totalPages(remote), 0u);
+
+    mem::Addr remote_base = 0x100000000ULL;
+    ASSERT_TRUE(mm->onlineSection(remote, remote_base));
+    EXPECT_EQ(mm->totalPages(remote), kSection / kPage);
+    EXPECT_TRUE(mm->isOnline(remote_base));
+    EXPECT_EQ(mm->onlineSections(), 5u);
+}
+
+TEST_F(OsFixture, HotplugRejectsUnalignedAndDuplicate)
+{
+    EXPECT_FALSE(mm->onlineSection(remote, 0x1234));
+    EXPECT_FALSE(mm->onlineSection(remote, 0)); // already online
+}
+
+TEST_F(OsFixture, OfflineRequiresFreePages)
+{
+    mem::Addr base = 0x100000000ULL;
+    ASSERT_TRUE(mm->onlineSection(remote, base));
+    auto page = mm->allocPageOn(remote);
+    ASSERT_TRUE(page.has_value());
+    EXPECT_FALSE(mm->offlineSection(base)); // page in use
+    mm->freePage(*page);
+    EXPECT_TRUE(mm->offlineSection(base));
+    EXPECT_EQ(mm->totalPages(remote), 0u);
+}
+
+TEST_F(OsFixture, NodeOfMapsAddresses)
+{
+    mem::Addr base = 0x100000000ULL;
+    ASSERT_TRUE(mm->onlineSection(remote, base));
+    EXPECT_EQ(mm->nodeOf(0x1000), local);
+    EXPECT_EQ(mm->nodeOf(base + 123), remote);
+    EXPECT_EQ(mm->nodeOf(0xdeadbeef00ULL), invalidNode);
+}
+
+TEST_F(OsFixture, LocalPolicyPrefersHomeThenFallsBack)
+{
+    mem::Addr base = 0x100000000ULL;
+    ASSERT_TRUE(mm->onlineSection(remote, base));
+    AllocPolicy policy = AllocPolicy::local();
+
+    // Drain local memory completely.
+    std::uint64_t local_pages = mm->freePages(local);
+    for (std::uint64_t i = 0; i < local_pages; ++i) {
+        auto p = mm->allocPage(policy, local);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_EQ(mm->nodeOf(*p), local);
+    }
+    // Next allocation falls back to the remote node.
+    auto p = mm->allocPage(policy, local);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(mm->nodeOf(*p), remote);
+}
+
+TEST_F(OsFixture, InterleavePolicyAlternates)
+{
+    mem::Addr base = 0x100000000ULL;
+    ASSERT_TRUE(mm->onlineSection(remote, base));
+    AllocPolicy policy = AllocPolicy::interleave({local, remote});
+
+    int local_count = 0, remote_count = 0;
+    for (int i = 0; i < 40; ++i) {
+        auto p = mm->allocPage(policy, local);
+        ASSERT_TRUE(p.has_value());
+        (mm->nodeOf(*p) == local ? local_count : remote_count)++;
+    }
+    // Strict 50/50 round-robin while both nodes have memory.
+    EXPECT_EQ(local_count, 20);
+    EXPECT_EQ(remote_count, 20);
+}
+
+TEST_F(OsFixture, BindPolicyFailsWhenExhausted)
+{
+    mem::Addr base = 0x100000000ULL;
+    ASSERT_TRUE(mm->onlineSection(remote, base));
+    AllocPolicy policy = AllocPolicy::bind({remote});
+    std::uint64_t pages = mm->freePages(remote);
+    for (std::uint64_t i = 0; i < pages; ++i)
+        ASSERT_TRUE(mm->allocPage(policy, local).has_value());
+    EXPECT_FALSE(mm->allocPage(policy, local).has_value());
+    EXPECT_GT(mm->freePages(local), 0u); // bind never spills
+}
+
+TEST_F(OsFixture, ClaimWholeSectionRemovesFromFreeList)
+{
+    std::uint64_t before = mm->freePages(local);
+    auto base = mm->claimWholeSection(local);
+    ASSERT_TRUE(base.has_value());
+    EXPECT_EQ(mm->freePages(local), before - kSection / kPage);
+    mm->releaseWholeSection(*base);
+    EXPECT_EQ(mm->freePages(local), before);
+}
+
+TEST_F(OsFixture, ClaimSkipsPartiallyUsedSections)
+{
+    // Use one page from each of the first three sections.
+    std::vector<mem::Addr> held;
+    for (int s = 0; s < 3; ++s) {
+        auto p = mm->allocPageOn(local);
+        ASSERT_TRUE(p.has_value());
+        held.push_back(*p);
+    }
+    // Pages come from section 0's free-list head, so sections 1-3 are
+    // still fully free; claiming must not return section 0.
+    auto base = mm->claimWholeSection(local);
+    ASSERT_TRUE(base.has_value());
+    for (mem::Addr p : held)
+        EXPECT_FALSE(p >= *base && p < *base + kSection);
+}
+
+TEST_F(OsFixture, AddressSpaceFaultsInLazily)
+{
+    AddressSpace as(*mm, local);
+    mem::Addr va = as.mmap(10 * kPage);
+    EXPECT_EQ(as.mappedPages(), 0u);
+    auto pa = as.translate(va + 3 * kPage + 17);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa % kPage, 17u);
+    EXPECT_EQ(as.mappedPages(), 1u);
+    EXPECT_EQ(as.faults(), 1u);
+    // Same page again: no new fault.
+    as.translate(va + 3 * kPage + 1000);
+    EXPECT_EQ(as.faults(), 1u);
+}
+
+TEST_F(OsFixture, AddressSpaceMunmapFreesFrames)
+{
+    AddressSpace as(*mm, local);
+    std::uint64_t before = mm->freePages(local);
+    mem::Addr va = as.mmap(4 * kPage);
+    for (int i = 0; i < 4; ++i)
+        as.translate(va + static_cast<mem::Addr>(i) * kPage);
+    EXPECT_EQ(mm->freePages(local), before - 4);
+    as.munmap(va, 4 * kPage);
+    EXPECT_EQ(mm->freePages(local), before);
+    EXPECT_EQ(as.mappedPages(), 0u);
+}
+
+TEST_F(OsFixture, ResidencyFollowsPolicy)
+{
+    mem::Addr base = 0x100000000ULL;
+    ASSERT_TRUE(mm->onlineSection(remote, base));
+    AddressSpace as(*mm, local,
+                    AllocPolicy::interleave({local, remote}));
+    mem::Addr va = as.mmap(20 * kPage);
+    for (int i = 0; i < 20; ++i)
+        as.translate(va + static_cast<mem::Addr>(i) * kPage);
+    auto res = as.residency();
+    EXPECT_EQ(res[local], 10u);
+    EXPECT_EQ(res[remote], 10u);
+}
+
+TEST_F(OsFixture, AutoNumaMigratesHotRemotePages)
+{
+    mem::Addr base = 0x100000000ULL;
+    ASSERT_TRUE(mm->onlineSection(remote, base));
+    AddressSpace as(*mm, local, AllocPolicy::bind({remote}));
+    mem::Addr va = as.mmap(8 * kPage);
+    for (int i = 0; i < 8; ++i)
+        as.translate(va + static_cast<mem::Addr>(i) * kPage);
+    EXPECT_EQ(as.residency()[remote], 8u);
+
+    AutoNumaParams params;
+    params.hotThreshold = 16;
+    AutoNuma numa(*mm, params);
+    // Hammer pages 0 and 1 from the local CPU node.
+    for (int i = 0; i < 100; ++i) {
+        numa.recordAccess(as, va, local);
+        numa.recordAccess(as, va + kPage, local);
+    }
+    // Touch page 7 below the hot threshold.
+    for (int i = 0; i < 4; ++i)
+        numa.recordAccess(as, va + 7 * kPage, local);
+
+    auto migrated = numa.scan();
+    EXPECT_EQ(migrated.size(), 2u);
+    auto res = as.residency();
+    EXPECT_EQ(res[local], 2u);
+    EXPECT_EQ(res[remote], 6u);
+    EXPECT_EQ(numa.migrations(), 2u);
+}
+
+TEST_F(OsFixture, AutoNumaRespectsRateLimit)
+{
+    mem::Addr base = 0x100000000ULL;
+    ASSERT_TRUE(mm->onlineSection(remote, base));
+    AddressSpace as(*mm, local, AllocPolicy::bind({remote}));
+    mem::Addr va = as.mmap(32 * kPage);
+
+    AutoNumaParams params;
+    params.hotThreshold = 4;
+    params.maxMigrationsPerScan = 5;
+    AutoNuma numa(*mm, params);
+    for (int p = 0; p < 32; ++p)
+        for (int i = 0; i < 10; ++i)
+            numa.recordAccess(as, va + static_cast<mem::Addr>(p) * kPage,
+                              local);
+    EXPECT_EQ(numa.scan().size(), 5u);
+}
+
+TEST_F(OsFixture, AutoNumaLeavesLocalPagesAlone)
+{
+    AddressSpace as(*mm, local); // local policy
+    mem::Addr va = as.mmap(4 * kPage);
+    AutoNuma numa(*mm);
+    for (int i = 0; i < 100; ++i)
+        numa.recordAccess(as, va, local);
+    EXPECT_TRUE(numa.scan().empty());
+}
+
+TEST(SwapT, ResidentAccessIsMinor)
+{
+    sim::EventQueue eq;
+    mem::Dram dram("d", eq, mem::DramParams{}, nullptr);
+    SwapParams sp;
+    sp.localPages = 4;
+    SwappingMemory swap("swap", eq, sp, dram);
+    int done = 0;
+    swap.access(0, false, [&] { ++done; });
+    eq.run();
+    swap.access(64, false, [&] { ++done; }); // same page
+    eq.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(swap.majorFaults(), 1u);
+    EXPECT_EQ(swap.minorAccesses(), 1u);
+}
+
+TEST(SwapT, EvictsLruBeyondCapacity)
+{
+    sim::EventQueue eq;
+    mem::Dram dram("d", eq, mem::DramParams{}, nullptr);
+    SwapParams sp;
+    sp.localPages = 2;
+    SwappingMemory swap("swap", eq, sp, dram);
+    int done = 0;
+    auto touch = [&](std::uint64_t page) {
+        swap.access(page * sp.pageBytes, false, [&] { ++done; });
+        eq.run();
+    };
+    touch(0);
+    touch(1);
+    touch(0); // refresh page 0
+    touch(2); // evicts page 1
+    touch(0); // still resident
+    EXPECT_EQ(swap.majorFaults(), 3u);
+    touch(1); // was evicted -> faults again
+    EXPECT_EQ(swap.majorFaults(), 4u);
+    EXPECT_EQ(done, 6);
+}
+
+TEST(SwapT, DirtyEvictionPaysPageOut)
+{
+    sim::EventQueue eq;
+    mem::Dram dram("d", eq, mem::DramParams{}, nullptr);
+    SwapParams sp;
+    sp.localPages = 1;
+    SwappingMemory swap("swap", eq, sp, dram);
+    int done = 0;
+    swap.access(0, true, [&] { ++done; }); // dirty page 0
+    eq.run();
+    sim::Tick before = eq.now();
+    swap.access(sp.pageBytes, false, [&] { ++done; }); // evict dirty
+    eq.run();
+    sim::Tick dirty_evict = eq.now() - before;
+    EXPECT_EQ(swap.pageOuts(), 1u);
+
+    before = eq.now();
+    swap.access(0, false, [&] { ++done; }); // evict clean page
+    eq.run();
+    EXPECT_EQ(done, 3);
+    // Dirty eviction pays two transfers, clean only one.
+    EXPECT_GT(dirty_evict, eq.now() - before);
+}
+
+TEST(SwapT, FaultLatencyDominatedByPageTransfer)
+{
+    sim::EventQueue eq;
+    mem::Dram dram("d", eq, mem::DramParams{}, nullptr);
+    SwapParams sp;
+    SwappingMemory swap("swap", eq, sp, dram);
+    swap.access(0, false, [] {});
+    eq.run();
+    // 64 KiB at 12.5 GB/s = 5.24 us + 1.5 us link + 4 us trap + DRAM.
+    double fault_us = swap.faultLatencyUs().mean();
+    EXPECT_GT(fault_us, 10.0);
+    EXPECT_LT(fault_us, 12.0);
+}

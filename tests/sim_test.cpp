@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel, RNG and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/clock_domain.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+using namespace tf::sim;
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_EQ(nanoseconds(1), 1000u);
+    EXPECT_EQ(microseconds(1), 1000u * 1000u);
+    EXPECT_EQ(milliseconds(1), 1000ull * 1000 * 1000);
+    EXPECT_EQ(seconds(1), 1000ull * 1000 * 1000 * 1000);
+    EXPECT_DOUBLE_EQ(toNs(nanoseconds(950)), 950.0);
+    EXPECT_DOUBLE_EQ(toUs(microseconds(3.5)), 3.5);
+    EXPECT_DOUBLE_EQ(toSec(seconds(2)), 2.0);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, SameTickFifoAndPriority)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] { order.push_back(1); });
+    eq.schedule(50, [&] { order.push_back(2); });
+    eq.schedule(50, [&] { order.push_back(0); },
+                EventPriority::ClockEdge);
+    eq.schedule(50, [&] { order.push_back(3); }, EventPriority::Stats);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, RunWithLimitLeavesLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    eq.schedule(200, [&] { ++fired; });
+    std::uint64_t n = eq.run(150);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 150u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ScheduleFromCallback)
+{
+    EventQueue eq;
+    int chain = 0;
+    std::function<void()> step = [&] {
+        if (++chain < 5)
+            eq.scheduleIn(10, step);
+    };
+    eq.schedule(0, step);
+    eq.run();
+    EXPECT_EQ(chain, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, Deschedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto id = eq.schedule(100, [&] { ++fired; });
+    eq.schedule(50, [&] { ++fired; });
+    eq.deschedule(id);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    // Descheduling an already-fired id is a no-op.
+    eq.deschedule(id);
+}
+
+TEST(EventQueue, PendingCountsLiveEventsOnly)
+{
+    EventQueue eq;
+    auto a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.deschedule(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(EventQueue, Warp)
+{
+    EventQueue eq;
+    eq.warp(500);
+    EXPECT_EQ(eq.now(), 500u);
+    int fired = 0;
+    eq.schedule(600, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(ClockDomain, PrototypeFrequency)
+{
+    ClockDomain clk = prototypeClock();
+    // 401 MHz -> 2493 ps period (integer truncation of 2493.77).
+    EXPECT_EQ(clk.period(), 2493u);
+    EXPECT_NEAR(clk.frequencyHz(), 401e6, 1e6);
+}
+
+TEST(ClockDomain, EdgesAndCycles)
+{
+    ClockDomain clk(1e9); // 1 GHz, 1000 ps period
+    EXPECT_EQ(clk.nextEdge(0), 0u);
+    EXPECT_EQ(clk.nextEdge(1), 1000u);
+    EXPECT_EQ(clk.nextEdge(1000), 1000u);
+    EXPECT_EQ(clk.nextEdge(1001), 2000u);
+    EXPECT_EQ(clk.cycles(5), 5000u);
+    EXPECT_EQ(clk.cycleCount(5500), 5u);
+}
+
+TEST(ClockDomain, MesochronousPhase)
+{
+    ClockDomain clk(1e9, 250);
+    EXPECT_EQ(clk.nextEdge(0), 250u);
+    EXPECT_EQ(clk.nextEdge(251), 1250u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    Summary s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BoundedParetoStaysBounded)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.boundedPareto(1.2, 1.0, 1000.0);
+        EXPECT_GE(v, 1.0);
+        EXPECT_LE(v, 1000.0);
+    }
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    Rng rng(19);
+    ZipfGenerator zipf(1000, 1.0);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 200000; ++i)
+        ++counts[zipf(rng)];
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[9], counts[99]);
+    EXPECT_GT(counts[99], counts[999]);
+}
+
+TEST(Zipf, TheoreticalHeadMass)
+{
+    // With theta = 1.0 over n = 1000, the top item's probability is
+    // 1/H_1000 ~= 0.1336.
+    Rng rng(23);
+    ZipfGenerator zipf(1000, 1.0);
+    const int n = 300000;
+    int top = 0;
+    for (int i = 0; i < n; ++i)
+        top += (zipf(rng) == 0);
+    double h1000 = 0;
+    for (int k = 1; k <= 1000; ++k)
+        h1000 += 1.0 / k;
+    EXPECT_NEAR(static_cast<double>(top) / n, 1.0 / h1000, 0.01);
+}
+
+TEST(Summary, Moments)
+{
+    Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleStat, Quantiles)
+{
+    SampleStat s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+    EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+    EXPECT_NEAR(s.quantile(0.9), 90.1, 1e-9);
+}
+
+TEST(SampleStat, InterleavedAddAndQuantile)
+{
+    SampleStat s;
+    s.add(3.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 3.0);
+    s.add(5.0); // re-sort required after new sample
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+}
+
+TEST(Histogram, Buckets)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(5.5);
+    h.add(9.999);
+    h.add(10.0);
+    h.add(42.0);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(5), 5.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(5), 6.0);
+}
+
+TEST(StatSet, PrintsOwnerPrefixedRows)
+{
+    StatSet set("dram0");
+    set.record("reads", 42, "txns", "read requests");
+    std::ostringstream os;
+    set.print(os);
+    EXPECT_NE(os.str().find("dram0.reads"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+    EXPECT_NE(os.str().find("read requests"), std::string::npos);
+}
+
+TEST(SampleStat, WriteCdfMonotone)
+{
+    SampleStat s;
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        s.add(rng.uniform(10.0, 50.0));
+    std::ostringstream os;
+    s.writeCdf(os, 50);
+    std::istringstream is(os.str());
+    double value, fraction;
+    double prev_value = -1, prev_fraction = -1;
+    int rows = 0;
+    while (is >> value >> fraction) {
+        EXPECT_GE(value, prev_value);
+        EXPECT_GT(fraction, prev_fraction);
+        EXPECT_GE(fraction, 0.0);
+        EXPECT_LE(fraction, 1.0);
+        prev_value = value;
+        prev_fraction = fraction;
+        ++rows;
+    }
+    EXPECT_EQ(rows, 51); // 0..points inclusive
+    EXPECT_DOUBLE_EQ(prev_fraction, 1.0);
+}
+
+TEST(SampleStat, WriteCdfEmptyProducesNothing)
+{
+    SampleStat s;
+    std::ostringstream os;
+    s.writeCdf(os);
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(EventQueue, DescheduleFromWithinCallback)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventQueue::EventId later = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.deschedule(later); // cancel a not-yet-fired event
+    });
+    later = eq.schedule(20, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ManyEventsStaySorted)
+{
+    EventQueue eq;
+    Rng rng(9);
+    Tick last_seen = 0;
+    bool monotone = true;
+    for (int i = 0; i < 10000; ++i) {
+        Tick when = rng.below(1000000);
+        eq.schedule(when, [&, when] {
+            monotone = monotone && eq.now() >= last_seen &&
+                       eq.now() == when;
+            last_seen = eq.now();
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(eq.executed(), 10000u);
+}
