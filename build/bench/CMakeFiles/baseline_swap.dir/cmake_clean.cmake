@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_swap.dir/baseline_swap.cpp.o"
+  "CMakeFiles/baseline_swap.dir/baseline_swap.cpp.o.d"
+  "baseline_swap"
+  "baseline_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

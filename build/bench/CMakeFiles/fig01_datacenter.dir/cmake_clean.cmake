@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_datacenter.dir/fig01_datacenter.cpp.o"
+  "CMakeFiles/fig01_datacenter.dir/fig01_datacenter.cpp.o.d"
+  "fig01_datacenter"
+  "fig01_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

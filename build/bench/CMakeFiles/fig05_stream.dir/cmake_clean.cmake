@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_stream.dir/fig05_stream.cpp.o"
+  "CMakeFiles/fig05_stream.dir/fig05_stream.cpp.o.d"
+  "fig05_stream"
+  "fig05_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_voltdb_profile.dir/fig06_voltdb_profile.cpp.o"
+  "CMakeFiles/fig06_voltdb_profile.dir/fig06_voltdb_profile.cpp.o.d"
+  "fig06_voltdb_profile"
+  "fig06_voltdb_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_voltdb_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_memcached.dir/fig08_memcached.cpp.o"
+  "CMakeFiles/fig08_memcached.dir/fig08_memcached.cpp.o.d"
+  "fig08_memcached"
+  "fig08_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_elastic.dir/fig09_elastic.cpp.o"
+  "CMakeFiles/fig09_elastic.dir/fig09_elastic.cpp.o.d"
+  "fig09_elastic"
+  "fig09_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

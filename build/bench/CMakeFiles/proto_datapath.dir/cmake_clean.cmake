@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_datapath.dir/proto_datapath.cpp.o"
+  "CMakeFiles/proto_datapath.dir/proto_datapath.cpp.o.d"
+  "proto_datapath"
+  "proto_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_server.dir/logical_server.cpp.o"
+  "CMakeFiles/logical_server.dir/logical_server.cpp.o.d"
+  "logical_server"
+  "logical_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/tf_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/tf_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/tf_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/tflow/CMakeFiles/tf_tflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/opencapi/CMakeFiles/tf_opencapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/tf_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_agent.dir/agent.cc.o"
+  "CMakeFiles/tf_agent.dir/agent.cc.o.d"
+  "libtf_agent.a"
+  "libtf_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

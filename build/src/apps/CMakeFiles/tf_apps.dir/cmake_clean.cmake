@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_apps.dir/elastic.cc.o"
+  "CMakeFiles/tf_apps.dir/elastic.cc.o.d"
+  "CMakeFiles/tf_apps.dir/memcached.cc.o"
+  "CMakeFiles/tf_apps.dir/memcached.cc.o.d"
+  "CMakeFiles/tf_apps.dir/stream.cc.o"
+  "CMakeFiles/tf_apps.dir/stream.cc.o.d"
+  "CMakeFiles/tf_apps.dir/voltdb.cc.o"
+  "CMakeFiles/tf_apps.dir/voltdb.cc.o.d"
+  "libtf_apps.a"
+  "libtf_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

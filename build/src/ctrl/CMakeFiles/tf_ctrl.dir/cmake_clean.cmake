@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_ctrl.dir/control_plane.cc.o"
+  "CMakeFiles/tf_ctrl.dir/control_plane.cc.o.d"
+  "CMakeFiles/tf_ctrl.dir/graph.cc.o"
+  "CMakeFiles/tf_ctrl.dir/graph.cc.o.d"
+  "libtf_ctrl.a"
+  "libtf_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

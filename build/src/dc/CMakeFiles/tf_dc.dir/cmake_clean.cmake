@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_dc.dir/models.cc.o"
+  "CMakeFiles/tf_dc.dir/models.cc.o.d"
+  "CMakeFiles/tf_dc.dir/simulation.cc.o"
+  "CMakeFiles/tf_dc.dir/simulation.cc.o.d"
+  "CMakeFiles/tf_dc.dir/trace.cc.o"
+  "CMakeFiles/tf_dc.dir/trace.cc.o.d"
+  "libtf_dc.a"
+  "libtf_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_mem.dir/backing_store.cc.o"
+  "CMakeFiles/tf_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/tf_mem.dir/cache.cc.o"
+  "CMakeFiles/tf_mem.dir/cache.cc.o.d"
+  "CMakeFiles/tf_mem.dir/dram.cc.o"
+  "CMakeFiles/tf_mem.dir/dram.cc.o.d"
+  "CMakeFiles/tf_mem.dir/transaction.cc.o"
+  "CMakeFiles/tf_mem.dir/transaction.cc.o.d"
+  "libtf_mem.a"
+  "libtf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

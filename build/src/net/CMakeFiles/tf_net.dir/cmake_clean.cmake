@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_net.dir/ethernet.cc.o"
+  "CMakeFiles/tf_net.dir/ethernet.cc.o.d"
+  "libtf_net.a"
+  "libtf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opencapi/c1_master.cc" "src/opencapi/CMakeFiles/tf_opencapi.dir/c1_master.cc.o" "gcc" "src/opencapi/CMakeFiles/tf_opencapi.dir/c1_master.cc.o.d"
+  "/root/repo/src/opencapi/crossing.cc" "src/opencapi/CMakeFiles/tf_opencapi.dir/crossing.cc.o" "gcc" "src/opencapi/CMakeFiles/tf_opencapi.dir/crossing.cc.o.d"
+  "/root/repo/src/opencapi/pasid.cc" "src/opencapi/CMakeFiles/tf_opencapi.dir/pasid.cc.o" "gcc" "src/opencapi/CMakeFiles/tf_opencapi.dir/pasid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/tf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_opencapi.dir/c1_master.cc.o"
+  "CMakeFiles/tf_opencapi.dir/c1_master.cc.o.d"
+  "CMakeFiles/tf_opencapi.dir/crossing.cc.o"
+  "CMakeFiles/tf_opencapi.dir/crossing.cc.o.d"
+  "CMakeFiles/tf_opencapi.dir/pasid.cc.o"
+  "CMakeFiles/tf_opencapi.dir/pasid.cc.o.d"
+  "libtf_opencapi.a"
+  "libtf_opencapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_opencapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

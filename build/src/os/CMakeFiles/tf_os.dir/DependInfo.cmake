@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/address_space.cc" "src/os/CMakeFiles/tf_os.dir/address_space.cc.o" "gcc" "src/os/CMakeFiles/tf_os.dir/address_space.cc.o.d"
+  "/root/repo/src/os/memory_manager.cc" "src/os/CMakeFiles/tf_os.dir/memory_manager.cc.o" "gcc" "src/os/CMakeFiles/tf_os.dir/memory_manager.cc.o.d"
+  "/root/repo/src/os/migration.cc" "src/os/CMakeFiles/tf_os.dir/migration.cc.o" "gcc" "src/os/CMakeFiles/tf_os.dir/migration.cc.o.d"
+  "/root/repo/src/os/numa.cc" "src/os/CMakeFiles/tf_os.dir/numa.cc.o" "gcc" "src/os/CMakeFiles/tf_os.dir/numa.cc.o.d"
+  "/root/repo/src/os/swap.cc" "src/os/CMakeFiles/tf_os.dir/swap.cc.o" "gcc" "src/os/CMakeFiles/tf_os.dir/swap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/tf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_os.dir/address_space.cc.o"
+  "CMakeFiles/tf_os.dir/address_space.cc.o.d"
+  "CMakeFiles/tf_os.dir/memory_manager.cc.o"
+  "CMakeFiles/tf_os.dir/memory_manager.cc.o.d"
+  "CMakeFiles/tf_os.dir/migration.cc.o"
+  "CMakeFiles/tf_os.dir/migration.cc.o.d"
+  "CMakeFiles/tf_os.dir/numa.cc.o"
+  "CMakeFiles/tf_os.dir/numa.cc.o.d"
+  "CMakeFiles/tf_os.dir/swap.cc.o"
+  "CMakeFiles/tf_os.dir/swap.cc.o.d"
+  "libtf_os.a"
+  "libtf_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tf_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tf_sim.dir/logging.cc.o"
+  "CMakeFiles/tf_sim.dir/logging.cc.o.d"
+  "CMakeFiles/tf_sim.dir/rng.cc.o"
+  "CMakeFiles/tf_sim.dir/rng.cc.o.d"
+  "CMakeFiles/tf_sim.dir/stats.cc.o"
+  "CMakeFiles/tf_sim.dir/stats.cc.o.d"
+  "libtf_sim.a"
+  "libtf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_system.dir/cpuset.cc.o"
+  "CMakeFiles/tf_system.dir/cpuset.cc.o.d"
+  "CMakeFiles/tf_system.dir/memory_path.cc.o"
+  "CMakeFiles/tf_system.dir/memory_path.cc.o.d"
+  "CMakeFiles/tf_system.dir/node.cc.o"
+  "CMakeFiles/tf_system.dir/node.cc.o.d"
+  "CMakeFiles/tf_system.dir/testbed.cc.o"
+  "CMakeFiles/tf_system.dir/testbed.cc.o.d"
+  "libtf_system.a"
+  "libtf_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tflow/compute_endpoint.cc" "src/tflow/CMakeFiles/tf_tflow.dir/compute_endpoint.cc.o" "gcc" "src/tflow/CMakeFiles/tf_tflow.dir/compute_endpoint.cc.o.d"
+  "/root/repo/src/tflow/datapath.cc" "src/tflow/CMakeFiles/tf_tflow.dir/datapath.cc.o" "gcc" "src/tflow/CMakeFiles/tf_tflow.dir/datapath.cc.o.d"
+  "/root/repo/src/tflow/llc.cc" "src/tflow/CMakeFiles/tf_tflow.dir/llc.cc.o" "gcc" "src/tflow/CMakeFiles/tf_tflow.dir/llc.cc.o.d"
+  "/root/repo/src/tflow/rmmu.cc" "src/tflow/CMakeFiles/tf_tflow.dir/rmmu.cc.o" "gcc" "src/tflow/CMakeFiles/tf_tflow.dir/rmmu.cc.o.d"
+  "/root/repo/src/tflow/routing.cc" "src/tflow/CMakeFiles/tf_tflow.dir/routing.cc.o" "gcc" "src/tflow/CMakeFiles/tf_tflow.dir/routing.cc.o.d"
+  "/root/repo/src/tflow/stealing_endpoint.cc" "src/tflow/CMakeFiles/tf_tflow.dir/stealing_endpoint.cc.o" "gcc" "src/tflow/CMakeFiles/tf_tflow.dir/stealing_endpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opencapi/CMakeFiles/tf_opencapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

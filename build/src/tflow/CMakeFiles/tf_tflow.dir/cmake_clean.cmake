@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_tflow.dir/compute_endpoint.cc.o"
+  "CMakeFiles/tf_tflow.dir/compute_endpoint.cc.o.d"
+  "CMakeFiles/tf_tflow.dir/datapath.cc.o"
+  "CMakeFiles/tf_tflow.dir/datapath.cc.o.d"
+  "CMakeFiles/tf_tflow.dir/llc.cc.o"
+  "CMakeFiles/tf_tflow.dir/llc.cc.o.d"
+  "CMakeFiles/tf_tflow.dir/rmmu.cc.o"
+  "CMakeFiles/tf_tflow.dir/rmmu.cc.o.d"
+  "CMakeFiles/tf_tflow.dir/routing.cc.o"
+  "CMakeFiles/tf_tflow.dir/routing.cc.o.d"
+  "CMakeFiles/tf_tflow.dir/stealing_endpoint.cc.o"
+  "CMakeFiles/tf_tflow.dir/stealing_endpoint.cc.o.d"
+  "libtf_tflow.a"
+  "libtf_tflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_tflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opencapi_test.dir/opencapi_test.cpp.o"
+  "CMakeFiles/opencapi_test.dir/opencapi_test.cpp.o.d"
+  "opencapi_test"
+  "opencapi_test.pdb"
+  "opencapi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opencapi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tflow_test.dir/tflow_test.cpp.o"
+  "CMakeFiles/tflow_test.dir/tflow_test.cpp.o.d"
+  "tflow_test"
+  "tflow_test.pdb"
+  "tflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
