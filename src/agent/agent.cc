@@ -129,14 +129,14 @@ Agent::attachMemory(const std::string &token, flow::Datapath &datapath,
 
 bool
 Agent::detachMemory(const std::string &token, flow::Datapath &datapath,
-                    const Attachment &attachment)
+                    const Attachment &attachment, bool force)
 {
     if (!authorised(token))
         return false;
 
     // First make sure the kernel can give every section back.
     for (mem::Addr base : attachment.hotplugBases) {
-        if (_mm.isOnline(base) && !_mm.offlineSection(base)) {
+        if (_mm.isOnline(base) && !_mm.offlineSection(base, force)) {
             sim::warn("%s: detach blocked, section %#llx has pages "
                       "in use",
                       _name.c_str(), (unsigned long long)base);
@@ -151,6 +151,29 @@ Agent::detachMemory(const std::string &token, flow::Datapath &datapath,
     }
     datapath.stealing().unregisterFlow(attachment.networkId);
     return true;
+}
+
+bool
+Agent::repairRoute(const std::string &token, flow::Datapath &datapath,
+                   const Attachment &attachment,
+                   const std::vector<int> &channels)
+{
+    if (!authorised(token))
+        return false;
+    TF_ASSERT(!channels.empty(), "repairRoute with no channels");
+    _routeRepairs.inc();
+    datapath.reroute(attachment.networkId, channels);
+    return true;
+}
+
+void
+Agent::watchDatapath(flow::Datapath &datapath)
+{
+    datapath.addLinkListener([this](const flow::Datapath::LinkEvent &ev) {
+        _linkEvents.inc();
+        sim::warn("%s: datapath channel %zu %s", _name.c_str(),
+                  ev.channel, ev.down ? "went down" : "recovered");
+    });
 }
 
 } // namespace tf::agent

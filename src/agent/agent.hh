@@ -116,12 +116,32 @@ class Agent
     /**
      * Detach: offline every hotplugged section (fails if pages are
      * still in use) and clear the RMMU/routing state.
+     * @param force surprise-removal semantics: offline sections even
+     *        with pages in use (the backing flow is gone; leaving the
+     *        memory online would hang or corrupt the host).
      */
     bool detachMemory(const std::string &token,
                       flow::Datapath &datapath,
-                      const Attachment &attachment);
+                      const Attachment &attachment, bool force = false);
+
+    /**
+     * Push a repaired channel set for a live attachment (control
+     * plane route repair after a link failure or recovery).
+     */
+    bool repairRoute(const std::string &token, flow::Datapath &datapath,
+                     const Attachment &attachment,
+                     const std::vector<int> &channels);
+
+    /**
+     * Subscribe to a datapath's link health events; the agent logs
+     * them and counts them (the control plane registers its own
+     * listener for repair).
+     */
+    void watchDatapath(flow::Datapath &datapath);
 
     std::uint64_t rejectedCommands() const { return _rejected.value(); }
+    std::uint64_t linkEventsObserved() const { return _linkEvents.value(); }
+    std::uint64_t routeRepairs() const { return _routeRepairs.value(); }
 
   private:
     std::string _name;
@@ -134,6 +154,8 @@ class Agent
     /** Window-section occupancy per datapath the agent configures. */
     std::map<flow::Datapath *, std::vector<bool>> _sectionsInUse;
     sim::Counter _rejected;
+    sim::Counter _linkEvents;
+    sim::Counter _routeRepairs;
 
     bool authorised(const std::string &token);
     std::optional<std::size_t> reserveSectionIndex(

@@ -1,5 +1,6 @@
 #include "ctrl/control_plane.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -82,7 +83,16 @@ ControlPlane::registerDatapath(const std::string &computeHost,
         _graph.addEdge(tx_d, dhost.memoryEp, 200.0);
         info.channelEdges.push_back(link);
     }
+    std::size_t dpIndex = _datapaths.size();
     _datapaths.push_back(std::move(info));
+
+    // The control plane watches the datapath's health (via the host
+    // agents' monitoring duty) and repairs allocations on transitions.
+    _hosts[computeHost].agent->watchDatapath(datapath);
+    datapath.addLinkListener(
+        [this, dpIndex](const flow::Datapath::LinkEvent &ev) {
+            onLinkEvent(dpIndex, ev.channel, ev.down);
+        });
 }
 
 ControlPlane::DatapathInfo *
@@ -180,6 +190,8 @@ ControlPlane::allocate(const std::string &userToken,
     rec.donation = *donation;
     rec.attachment = *attachment;
     rec.paths = std::move(paths);
+    rec.channels = std::move(channels);
+    rec.channelsWanted = channelsWanted;
     rec.demandGbpsPerPath = kFlowDemandGbps;
     rec.datapath = dpi->datapath;
     std::uint64_t id = rec.id;
@@ -207,6 +219,160 @@ ControlPlane::deallocate(const std::string &userToken, std::uint64_t id)
         _graph.release(p, rec.demandGbpsPerPath);
     _allocations.erase(it);
     return true;
+}
+
+void
+ControlPlane::onLinkEvent(std::size_t dpIndex, std::size_t channel,
+                          bool down)
+{
+    TF_ASSERT(dpIndex < _datapaths.size(), "link event from unknown dp");
+    const DatapathInfo &dpi = _datapaths[dpIndex];
+    TF_ASSERT(channel < dpi.channelEdges.size(),
+              "link event for unknown channel");
+
+    // i) state maintenance: reflect the link health in the graph.
+    _graph.setEdgeUp(dpi.channelEdges[channel], !down);
+
+    // ii) repair every allocation riding this datapath. Collect ids
+    // first: a teardown erases from _allocations mid-iteration.
+    std::vector<std::uint64_t> affected;
+    for (const auto &[id, rec] : _allocations)
+        if (rec.datapath == dpi.datapath)
+            affected.push_back(id);
+
+    for (std::uint64_t id : affected) {
+        auto it = _allocations.find(id);
+        if (it == _allocations.end())
+            continue;
+        if (down)
+            repairAllocation(it->second, dpi, channel);
+        else
+            growAllocation(it->second, dpi);
+    }
+}
+
+void
+ControlPlane::pushRoute(AllocationRecord &rec)
+{
+    agent::Agent *cagent = _hosts[rec.computeHost].agent;
+    cagent->repairRoute(_agentToken, *rec.datapath, rec.attachment,
+                        rec.channels);
+}
+
+void
+ControlPlane::repairAllocation(AllocationRecord &rec,
+                               const DatapathInfo &dpi,
+                               std::size_t channel)
+{
+    // Does this allocation use the dead channel at all?
+    auto pos = std::find(rec.channels.begin(), rec.channels.end(),
+                         static_cast<int>(channel));
+    if (pos == rec.channels.end())
+        return;
+    std::size_t idx =
+        static_cast<std::size_t>(pos - rec.channels.begin());
+
+    // Release the dead path's reservation and drop it from the record.
+    _graph.release(rec.paths[idx], rec.demandGbpsPerPath);
+    rec.paths.erase(rec.paths.begin() + static_cast<std::ptrdiff_t>(idx));
+    rec.channels.erase(pos);
+
+    if (rec.channels.empty()) {
+        // No surviving channel: search for any replacement before
+        // giving up entirely (down edges are skipped automatically).
+        const HostInfo &chost = _hosts[rec.computeHost];
+        const HostInfo &dhost = _hosts[rec.donorHost];
+        auto path = _graph.findPath(chost.computeEp, dhost.memoryEp,
+                                    rec.demandGbpsPerPath);
+        std::vector<int> mapped;
+        if (path)
+            mapped = channelsFromPaths(dpi, {*path});
+        if (!path || mapped.size() != 1) {
+            _teardowns.inc();
+            forceTeardown(rec.id);
+            return;
+        }
+        _graph.reserve(*path, rec.demandGbpsPerPath);
+        rec.paths.push_back(std::move(*path));
+        rec.channels.push_back(mapped.front());
+        _repairs.inc();
+        pushRoute(rec);
+        return;
+    }
+
+    // Try to find a replacement path disjoint from the survivors.
+    std::vector<EdgeId> used;
+    for (const Path &p : rec.paths)
+        used.insert(used.end(), p.edges.begin(), p.edges.end());
+    const HostInfo &chost = _hosts[rec.computeHost];
+    const HostInfo &dhost = _hosts[rec.donorHost];
+    auto path = _graph.findPath(chost.computeEp, dhost.memoryEp,
+                                rec.demandGbpsPerPath, &used);
+    std::vector<int> mapped;
+    if (path)
+        mapped = channelsFromPaths(dpi, {*path});
+    if (path && mapped.size() == 1) {
+        _graph.reserve(*path, rec.demandGbpsPerPath);
+        rec.paths.push_back(std::move(*path));
+        rec.channels.push_back(mapped.front());
+        _repairs.inc();
+    } else {
+        // No spare capacity: run degraded on the surviving channels.
+        _degrades.inc();
+    }
+    pushRoute(rec);
+}
+
+void
+ControlPlane::growAllocation(AllocationRecord &rec,
+                             const DatapathInfo &dpi)
+{
+    bool grew = false;
+    const HostInfo &chost = _hosts[rec.computeHost];
+    const HostInfo &dhost = _hosts[rec.donorHost];
+    while (rec.channels.size() <
+           static_cast<std::size_t>(rec.channelsWanted)) {
+        std::vector<EdgeId> used;
+        for (const Path &p : rec.paths)
+            used.insert(used.end(), p.edges.begin(), p.edges.end());
+        auto path = _graph.findPath(chost.computeEp, dhost.memoryEp,
+                                    rec.demandGbpsPerPath, &used);
+        if (!path)
+            break;
+        std::vector<int> mapped = channelsFromPaths(dpi, {*path});
+        if (mapped.size() != 1)
+            break;
+        _graph.reserve(*path, rec.demandGbpsPerPath);
+        rec.paths.push_back(std::move(*path));
+        rec.channels.push_back(mapped.front());
+        grew = true;
+    }
+    if (grew) {
+        _regrows.inc();
+        pushRoute(rec);
+    }
+}
+
+void
+ControlPlane::forceTeardown(std::uint64_t id)
+{
+    auto it = _allocations.find(id);
+    TF_ASSERT(it != _allocations.end(), "teardown of unknown allocation");
+    AllocationRecord &rec = it->second;
+
+    // Every channel is gone: error-complete what is still in flight so
+    // the host never hangs, then surprise-remove the hotplugged memory
+    // and release every remaining resource.
+    rec.datapath->abortFlow(rec.attachment.networkId);
+    agent::Agent *cagent = _hosts[rec.computeHost].agent;
+    agent::Agent *dagent = _hosts[rec.donorHost].agent;
+    bool detached = cagent->detachMemory(_agentToken, *rec.datapath,
+                                         rec.attachment, /*force=*/true);
+    TF_ASSERT(detached, "forced detach cannot fail");
+    dagent->releaseDonation(_agentToken, rec.donation);
+    for (const Path &p : rec.paths)
+        _graph.release(p, rec.demandGbpsPerPath);
+    _allocations.erase(it);
 }
 
 const AllocationRecord *

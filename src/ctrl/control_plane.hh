@@ -24,6 +24,7 @@
 
 #include "agent/agent.hh"
 #include "ctrl/graph.hh"
+#include "sim/stats.hh"
 
 namespace tf::ctrl {
 
@@ -38,6 +39,10 @@ struct AllocationRecord
     agent::Donation donation;
     agent::Attachment attachment;
     std::vector<Path> paths; ///< reserved network paths (1 per channel)
+    /** Channel index carried by paths[i] (kept in lockstep). */
+    std::vector<int> channels;
+    /** Channel count originally requested; repair grows back to it. */
+    int channelsWanted = 0;
     double demandGbpsPerPath = 0;
     flow::Datapath *datapath = nullptr;
 };
@@ -95,6 +100,17 @@ class ControlPlane
     const AllocationRecord *allocation(std::uint64_t id) const;
     std::size_t allocationCount() const { return _allocations.size(); }
 
+    // ------------------------ failure repair ------------------------
+
+    /** Successful path repairs (replacement channel found + pushed). */
+    std::uint64_t repairs() const { return _repairs.value(); }
+    /** Allocations degraded to fewer channels (no spare capacity). */
+    std::uint64_t degrades() const { return _degrades.value(); }
+    /** Allocations torn down after losing every channel. */
+    std::uint64_t teardowns() const { return _teardowns.value(); }
+    /** Allocations regrown to their wanted width after recovery. */
+    std::uint64_t regrows() const { return _regrows.value(); }
+
     // ----------------------- REST-style access ---------------------
 
     struct HttpResponse
@@ -141,9 +157,20 @@ class ControlPlane
     std::vector<DatapathInfo> _datapaths;
     std::map<std::uint64_t, AllocationRecord> _allocations;
     std::uint64_t _nextAllocation = 1;
+    sim::Counter _repairs;
+    sim::Counter _degrades;
+    sim::Counter _teardowns;
+    sim::Counter _regrows;
 
     DatapathInfo *findDatapath(const std::string &computeHost,
                                const std::string &donorHost);
+    void onLinkEvent(std::size_t dpIndex, std::size_t channel,
+                     bool down);
+    void repairAllocation(AllocationRecord &rec,
+                          const DatapathInfo &dpi, std::size_t channel);
+    void growAllocation(AllocationRecord &rec, const DatapathInfo &dpi);
+    void forceTeardown(std::uint64_t id);
+    void pushRoute(AllocationRecord &rec);
     std::vector<int> channelsFromPaths(const DatapathInfo &dpi,
                                        const std::vector<Path> &paths)
         const;

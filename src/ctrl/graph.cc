@@ -78,6 +78,14 @@ PropertyGraph::edge(EdgeId e) const
     return it->second;
 }
 
+void
+PropertyGraph::setEdgeUp(EdgeId e, bool up)
+{
+    auto it = _edges.find(e);
+    TF_ASSERT(it != _edges.end(), "unknown edge");
+    it->second.up = up;
+}
+
 std::optional<VertexId>
 PropertyGraph::findByName(const std::string &name) const
 {
@@ -127,7 +135,8 @@ PropertyGraph::findPath(VertexId from, VertexId to, double demandGbps,
         for (const auto &[e, next] : neighbours(v)) {
             if (excluded(e))
                 continue;
-            if (_edges.at(e).free() < demandGbps)
+            const Edge &cand = _edges.at(e);
+            if (!cand.up || cand.free() < demandGbps)
                 continue;
             if (parent.count(next))
                 continue;

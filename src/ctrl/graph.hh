@@ -49,6 +49,9 @@ struct Edge
     VertexId b = 0;
     double capacityGbps = 0;
     double reservedGbps = 0;
+    /** Health: a down link stays in the graph (it may come back) but
+     *  is never picked by findPath. */
+    bool up = true;
 
     double free() const { return capacityGbps - reservedGbps; }
 };
@@ -72,6 +75,9 @@ class PropertyGraph
     const Vertex &vertex(VertexId v) const;
     Vertex &vertex(VertexId v);
     const Edge &edge(EdgeId e) const;
+
+    /** Mark a link up/down; down edges are skipped by findPath. */
+    void setEdgeUp(EdgeId e, bool up);
 
     std::optional<VertexId> findByName(const std::string &name) const;
 

@@ -67,13 +67,13 @@ MemoryManager::onlineSection(NodeId node, mem::Addr base)
 }
 
 bool
-MemoryManager::offlineSection(mem::Addr base)
+MemoryManager::offlineSection(mem::Addr base, bool force)
 {
     auto it = _sections.find(base);
     if (it == _sections.end() || !it->second.online)
         return false;
     Section &s = it->second;
-    if (s.pagesInUse > 0)
+    if (s.pagesInUse > 0 && !force)
         return false; // pages must be migrated away first
 
     // Pull the section's pages out of the node free list.
@@ -163,7 +163,12 @@ void
 MemoryManager::freePage(mem::Addr page)
 {
     Section *s = sectionOf(page);
-    TF_ASSERT(s != nullptr && s->online, "freeing an unmanaged page");
+    if (s == nullptr) {
+        // The page's section was force-offlined (surprise removal):
+        // the frame is gone, there is nothing to return.
+        return;
+    }
+    TF_ASSERT(s->online, "freeing an unmanaged page");
     TF_ASSERT(s->pagesInUse > 0, "double free in section");
     --s->pagesInUse;
     _freeLists[static_cast<std::size_t>(s->node)].push_back(page);

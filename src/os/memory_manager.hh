@@ -52,9 +52,12 @@ class MemoryManager
 
     /**
      * Offline the section at @p base. Fails when any page is in use
-     * (callers migrate pages away first).
+     * (callers migrate pages away first) unless @p force is set:
+     * forced offline models surprise memory removal — the backing
+     * store died, so the section disappears with its pages; later
+     * freePage() calls against it are tolerated and ignored.
      */
-    bool offlineSection(mem::Addr base);
+    bool offlineSection(mem::Addr base, bool force = false);
 
     bool isOnline(mem::Addr base) const;
 

@@ -105,4 +105,18 @@ Testbed::serverPolicy()
     return os::AllocPolicy::local();
 }
 
+void
+Testbed::failChannel(std::size_t i)
+{
+    TF_ASSERT(_datapath != nullptr, "no datapath in this setup");
+    _datapath->failChannel(i);
+}
+
+void
+Testbed::recoverChannel(std::size_t i)
+{
+    TF_ASSERT(_datapath != nullptr, "no datapath in this setup");
+    _datapath->recoverChannel(i);
+}
+
 } // namespace tf::sys

@@ -75,6 +75,13 @@ class Testbed
     /** True when the app splits across both servers (scale-out). */
     bool scaleOut() const { return _params.setup == Setup::ScaleOut; }
 
+    /** Allocation id of the composed flow (0 when none). */
+    std::uint64_t allocationId() const { return _allocationId; }
+
+    /** Fault injection on the composed datapath. */
+    void failChannel(std::size_t i);
+    void recoverChannel(std::size_t i);
+
   private:
     sim::EventQueue &_eq;
     TestbedParams _params;

@@ -55,7 +55,7 @@ void
 ComputeEndpoint::admit(mem::TxnPtr txn)
 {
     _issued.inc();
-    _outstanding.insert(txn->id);
+    _outstanding[txn->id] = txn;
     _hostSerdesDown.push(std::move(txn));
 }
 
@@ -98,12 +98,70 @@ ComputeEndpoint::onNetworkResponse(mem::TxnPtr txn)
 }
 
 void
+ComputeEndpoint::reroute(mem::TxnPtr txn)
+{
+    TF_ASSERT(mem::isRequest(txn->type), "reroute() takes requests");
+    _rerouted.inc();
+    int ch = _routing.route(*txn);
+    if (ch < 0) {
+        failFast(std::move(txn));
+        return;
+    }
+    TF_ASSERT(static_cast<std::size_t>(ch) < _channelTx.size(),
+              "route to unknown channel %d", ch);
+    _channelTx[static_cast<std::size_t>(ch)]->enqueue(std::move(txn));
+}
+
+std::size_t
+ComputeEndpoint::abortOutstanding(mem::NetworkId id)
+{
+    std::vector<mem::TxnPtr> doomed;
+    for (auto it = _outstanding.begin(); it != _outstanding.end();) {
+        if (it->second && it->second->networkId == id) {
+            doomed.push_back(std::move(it->second));
+            it = _outstanding.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto &txn : doomed) {
+        // The aborted transaction may still be live inside the LLC
+        // buffers or the donor pipeline: frames carry the very same
+        // object, so flipping it to a response here would corrupt
+        // in-flight mastering. Complete the host with an error-
+        // response clone instead; whatever happens to the original
+        // later is swallowed by the duplicate filter in finish().
+        auto resp = std::make_shared<mem::MemTxn>(*txn);
+        txn->onComplete = nullptr;
+        if (mem::isRequest(resp->type))
+            resp->makeResponse();
+        resp->error = true;
+        _aborted.inc();
+        _completed.inc();
+        resp->complete();
+    }
+
+    while (!_waitQueue.empty() && _outstanding.size() < _params.maxTags) {
+        mem::TxnPtr next = std::move(_waitQueue.front());
+        _waitQueue.pop_front();
+        admit(std::move(next));
+    }
+    return doomed.size();
+}
+
+void
 ComputeEndpoint::finish(mem::TxnPtr txn)
 {
     auto it = _outstanding.find(txn->id);
-    TF_ASSERT(it != _outstanding.end(),
-              "response for unknown transaction %llu",
-              (unsigned long long)txn->id);
+    if (it == _outstanding.end()) {
+        // Duplicate from at-least-once failover (the original delivery
+        // succeeded but its response or ack died with a link), or a
+        // late response for a transaction abortOutstanding() already
+        // error-completed. Either way the host saw exactly one
+        // completion; drop the duplicate.
+        _dupResponses.inc();
+        return;
+    }
     _outstanding.erase(it);
     _completed.inc();
     _rttNs.add(sim::toNs(now() - txn->issued));
@@ -125,6 +183,10 @@ ComputeEndpoint::reportStats(sim::StatSet &out) const
                "txns");
     out.record("rmmuFaults", static_cast<double>(_rmmu.faults()));
     out.record("tagStalls", static_cast<double>(_tagStalls.value()));
+    out.record("duplicateResponses",
+               static_cast<double>(_dupResponses.value()));
+    out.record("reroutedRequests", static_cast<double>(_rerouted.value()));
+    out.record("abortedTxns", static_cast<double>(_aborted.value()));
     out.record("rttMeanNs", _rttNs.mean(), "ns");
     out.record("rttP99Ns", _rttNs.quantile(0.99), "ns");
 }

@@ -18,7 +18,7 @@
 #define TF_FLOW_COMPUTE_ENDPOINT_HH
 
 #include <deque>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "opencapi/crossing.hh"
@@ -51,6 +51,25 @@ class ComputeEndpoint : public sim::SimObject
     /** Response arrival from a channel's LlcRx (any channel). */
     void onNetworkResponse(mem::TxnPtr txn);
 
+    /**
+     * Re-route a request salvaged from a dead channel's LLC. The
+     * transaction is already translated, so it re-enters at the
+     * routing layer; if no surviving channel can carry it the request
+     * fails fast with an error response. Failover is at-least-once:
+     * if the original delivery actually succeeded (only its ack died
+     * with the link), the duplicate response is suppressed in
+     * finish().
+     */
+    void reroute(mem::TxnPtr txn);
+
+    /**
+     * Error-complete every outstanding transaction of a flow whose
+     * last channel died, so the host never hangs on a response that
+     * can no longer arrive. Also drains the tag wait queue.
+     * @return number of transactions aborted.
+     */
+    std::size_t abortOutstanding(mem::NetworkId id);
+
     Rmmu &rmmu() { return _rmmu; }
     RoutingLayer &routing() { return _routing; }
     const ocapi::M1Window &window() const { return _window; }
@@ -62,6 +81,9 @@ class ComputeEndpoint : public sim::SimObject
     std::uint64_t completed() const { return _completed.value(); }
     std::uint64_t rmmuFaults() const { return _rmmu.faults(); }
     std::uint64_t tagStalls() const { return _tagStalls.value(); }
+    std::uint64_t duplicateResponses() const { return _dupResponses.value(); }
+    std::uint64_t reroutedRequests() const { return _rerouted.value(); }
+    std::uint64_t abortedTxns() const { return _aborted.value(); }
 
     /** Round-trip latency distribution (ns) seen at the host bus. */
     const sim::SampleStat &rttNs() const { return _rttNs; }
@@ -82,11 +104,16 @@ class ComputeEndpoint : public sim::SimObject
 
     std::vector<LlcTx *> _channelTx;
     std::deque<mem::TxnPtr> _waitQueue;
-    std::unordered_set<std::uint64_t> _outstanding;
+    /** In-flight requests by id; the value keeps the txn reachable for
+     *  abortOutstanding() when its response path has died. */
+    std::unordered_map<std::uint64_t, mem::TxnPtr> _outstanding;
 
     sim::Counter _issued;
     sim::Counter _completed;
     sim::Counter _tagStalls;
+    sim::Counter _dupResponses;
+    sim::Counter _rerouted;
+    sim::Counter _aborted;
     sim::SampleStat _rttNs;
 
     void admit(mem::TxnPtr txn);

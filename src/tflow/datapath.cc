@@ -31,10 +31,29 @@ Datapath::Datapath(const std::string &name, sim::EventQueue &eq,
         ch->rxA().connectSink([this](mem::TxnPtr txn) {
             _compute.onNetworkResponse(std::move(txn));
         });
+        std::size_t chIdx = static_cast<std::size_t>(i);
+        ch->txA().connectHealth([this, chIdx]() { handleLinkDown(chIdx); });
+        ch->txB().connectHealth([this, chIdx]() { handleLinkDown(chIdx); });
+        // Late traffic handed to a dead Tx is salvaged the same way as
+        // the backlog drained at link-down time.
+        ch->txA().connectDeadLetter([this](mem::TxnPtr txn) {
+            _reroutedReqs.inc();
+            _compute.reroute(std::move(txn));
+        });
+        ch->txB().connectDeadLetter([this](mem::TxnPtr txn) {
+            int alive = firstAliveChannel();
+            if (alive >= 0) {
+                _reroutedResps.inc();
+                _stealing.resend(alive, std::move(txn));
+            } else {
+                _droppedResps.inc();
+            }
+        });
         computeTxs.push_back(&ch->txA());
         stealTxs.push_back(&ch->txB());
         _channels.push_back(std::move(ch));
     }
+    _chDown.assign(_channels.size(), false);
     _compute.connectChannels(std::move(computeTxs));
     _stealing.connectChannels(std::move(stealTxs));
 }
@@ -78,11 +97,129 @@ Datapath::detach(std::size_t sectionIndex)
 }
 
 void
+Datapath::reroute(mem::NetworkId id, std::vector<int> channels)
+{
+    TF_ASSERT(!channels.empty(), "reroute with no channels");
+    for (int ch : channels) {
+        TF_ASSERT(ch >= 0 &&
+                      static_cast<std::size_t>(ch) < _channels.size(),
+                  "reroute references unknown channel %d", ch);
+    }
+    bool bonded = channels.size() > 1;
+    SectionTable &table = _compute.rmmu().table();
+    for (std::size_t i = 0; i < table.entries(); ++i) {
+        if (table.entry(i).valid && table.entry(i).networkId == id)
+            table.setBonded(i, bonded);
+    }
+    _compute.routing().setRoute(id, std::move(channels));
+}
+
+std::size_t
+Datapath::abortFlow(mem::NetworkId id)
+{
+    return _compute.abortOutstanding(id);
+}
+
+void
+Datapath::addLinkListener(LinkListener listener)
+{
+    _listeners.push_back(std::move(listener));
+}
+
+void
+Datapath::notify(const LinkEvent &ev)
+{
+    for (auto &listener : _listeners)
+        listener(ev);
+}
+
+int
+Datapath::firstAliveChannel() const
+{
+    for (std::size_t i = 0; i < _channels.size(); ++i)
+        if (!_chDown[i])
+            return static_cast<int>(i);
+    return -1;
+}
+
+void
+Datapath::failChannel(std::size_t i)
+{
+    // Only the wires die; the datapath learns about it the way real
+    // hardware does, through the LLC's missing-ack escalation.
+    channel(i).fail();
+}
+
+void
+Datapath::recoverChannel(std::size_t i)
+{
+    channel(i).recover();
+    if (_chDown.at(i)) {
+        _chDown[i] = false;
+        _compute.routing().markChannelUp(static_cast<int>(i));
+        notify(LinkEvent{i, false});
+    }
+}
+
+void
+Datapath::handleLinkDown(std::size_t ch)
+{
+    if (_chDown.at(ch))
+        return; // the other direction already escalated
+    _chDown[ch] = true;
+    _linkDowns.inc();
+    _compute.routing().markChannelDown(static_cast<int>(ch));
+
+    // Both directions share the fate of the channel: force the side
+    // that has not escalated yet down too, so a later recover()
+    // retrains the full channel.
+    LlcChannel &c = channel(ch);
+    c.txA().forceLinkDown();
+    c.txB().forceLinkDown();
+
+    // Tell listeners (the control plane) before salvaging: a repaired
+    // or degraded route pushed synchronously from the notification is
+    // then already in place when the backlog is re-routed, so even a
+    // single-channel flow survives without fail-fast errors.
+    notify(LinkEvent{ch, true});
+
+    // Salvage undelivered requests onto surviving channels
+    // (at-least-once: the requester suppresses duplicate responses).
+    // If the notification tore the flow down instead, the re-route
+    // finds no route and the duplicate-suppressed fail-fast is a
+    // no-op for already-aborted transactions.
+    for (auto &txn : c.txA().takeUndelivered()) {
+        _reroutedReqs.inc();
+        _compute.reroute(std::move(txn));
+    }
+
+    // Salvage undelivered responses the same way; with no survivor
+    // they are dropped, and the control plane's teardown
+    // error-completes the requests they belonged to.
+    int alive = firstAliveChannel();
+    for (auto &txn : c.txB().takeUndelivered()) {
+        if (alive >= 0) {
+            _reroutedResps.inc();
+            _stealing.resend(alive, std::move(txn));
+        } else {
+            _droppedResps.inc();
+        }
+    }
+}
+
+void
 Datapath::reportStats(sim::StatSet &out) const
 {
     _compute.reportStats(out);
     out.record("c1Txns", static_cast<double>(_c1.transactions()));
     out.record("c1Faults", static_cast<double>(_c1.faults()));
+    out.record("linkDownEvents", static_cast<double>(_linkDowns.value()));
+    out.record("reroutedRequests",
+               static_cast<double>(_reroutedReqs.value()));
+    out.record("reroutedResponses",
+               static_cast<double>(_reroutedResps.value()));
+    out.record("droppedResponses",
+               static_cast<double>(_droppedResps.value()));
 }
 
 } // namespace tf::flow

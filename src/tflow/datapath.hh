@@ -12,6 +12,7 @@
 #ifndef TF_FLOW_DATAPATH_HH
 #define TF_FLOW_DATAPATH_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -24,6 +25,14 @@ namespace tf::flow {
 class Datapath
 {
   public:
+    /** Channel health transition, reported to agents/control plane. */
+    struct LinkEvent
+    {
+        std::size_t channel;
+        bool down; ///< true = channel died, false = channel recovered
+    };
+    using LinkListener = std::function<void(const LinkEvent &)>;
+
     /**
      * @param window      M1 real-address window on the compute host.
      * @param donorPasids PASID registry of the donor host.
@@ -55,8 +64,51 @@ class Datapath
     /** Tear down a section's flow. */
     void detach(std::size_t sectionIndex);
 
+    /**
+     * Replace the channel set of an active flow (control-plane route
+     * repair). Updates the routing table and the bonded flag of every
+     * section mapped to the flow, and unmasks routing for channels in
+     * the new set that are healthy again.
+     */
+    void reroute(mem::NetworkId id, std::vector<int> channels);
+
+    /**
+     * Error-complete every outstanding transaction of a flow (used
+     * when its last channel died). @return transactions aborted.
+     */
+    std::size_t abortFlow(mem::NetworkId id);
+
+    /** Subscribe to channel up/down transitions. */
+    void addLinkListener(LinkListener listener);
+
+    /**
+     * Fault injection: hard-fail a channel's wires. Detection is
+     * protocol-driven — the LLC Tx escalates after maxReplayRounds
+     * consecutive ack timeouts, which then triggers failover.
+     */
+    void failChannel(std::size_t i);
+
+    /** Fault injection: repair a channel and restore it to routing. */
+    void recoverChannel(std::size_t i);
+
+    /** True once the datapath has declared channel @p i dead. */
+    bool channelDown(std::size_t i) const { return _chDown.at(i); }
+
+    std::uint64_t linkDownEvents() const { return _linkDowns.value(); }
+    std::uint64_t reroutedRequests() const { return _reroutedReqs.value(); }
+    std::uint64_t reroutedResponses() const
+    {
+        return _reroutedResps.value();
+    }
+    std::uint64_t droppedResponses() const
+    {
+        return _droppedResps.value();
+    }
+
     /** Convenience: issue a host transaction into the M1 window. */
     void issue(mem::TxnPtr txn) { _compute.issue(std::move(txn)); }
+
+    RoutingLayer &routing() { return _compute.routing(); }
 
     void reportStats(sim::StatSet &out) const;
 
@@ -66,6 +118,16 @@ class Datapath
     std::vector<std::unique_ptr<LlcChannel>> _channels;
     ComputeEndpoint _compute;
     StealingEndpoint _stealing;
+    std::vector<bool> _chDown;
+    std::vector<LinkListener> _listeners;
+    sim::Counter _linkDowns;
+    sim::Counter _reroutedReqs;
+    sim::Counter _reroutedResps;
+    sim::Counter _droppedResps;
+
+    void handleLinkDown(std::size_t ch);
+    int firstAliveChannel() const;
+    void notify(const LinkEvent &ev);
 };
 
 } // namespace tf::flow

@@ -30,12 +30,32 @@ Wire::utilisation() const
 }
 
 void
+Wire::fail()
+{
+    if (_failed)
+        return;
+    _failed = true;
+    // Everything in flight is lost with the link: already-scheduled
+    // deliveries carry the old epoch and are dropped on arrival.
+    ++_epoch;
+    _failEvents.inc();
+}
+
+void
+Wire::recover()
+{
+    _failed = false;
+}
+
+void
 Wire::sendFrame(FramePtr frame)
 {
     TF_ASSERT(_onFrame != nullptr, "%s: wire not connected",
               name().c_str());
 
     // Frames always occupy the full frame size (padding included).
+    // A dead wire still serialises: the transmitter has no carrier
+    // detect, so it keeps pacing against _nextFree as usual.
     std::uint32_t bytes = _params.frameFlits * _params.flitBytes;
     double ser_secs = static_cast<double>(bytes) / _params.channelBps;
     sim::Tick ser = sim::seconds(ser_secs);
@@ -44,6 +64,11 @@ Wire::sendFrame(FramePtr frame)
     _busy += ser;
     _wireBytes.inc(bytes);
     _framesSent.inc();
+
+    if (_failed) {
+        _framesLostDown.inc();
+        return;
+    }
 
     bool drop = false;
     if (_params.frameErrorRate > 0 && _rng.chance(_params.frameErrorRate)) {
@@ -60,9 +85,14 @@ Wire::sendFrame(FramePtr frame)
 
     sim::Tick deliver =
         start + ser + _params.serdesLatency + _params.wireLatency;
-    after(deliver - now(), [this, frame = std::move(frame)]() mutable {
-        _onFrame(std::move(frame));
-    });
+    after(deliver - now(),
+          [this, epoch = _epoch, frame = std::move(frame)]() mutable {
+              if (epoch != _epoch) {
+                  _framesLostDown.inc(); // was in flight when the link died
+                  return;
+              }
+              _onFrame(std::move(frame));
+          });
 }
 
 void
@@ -70,8 +100,18 @@ Wire::sendCtrl(ControlMsg msg)
 {
     TF_ASSERT(_onCtrl != nullptr, "%s: wire not connected",
               name().c_str());
+    if (_failed) {
+        _ctrlLostDown.inc();
+        return;
+    }
     sim::Tick deliver = _params.serdesLatency + _params.wireLatency;
-    after(deliver, [this, msg]() { _onCtrl(msg); });
+    after(deliver, [this, epoch = _epoch, msg]() {
+        if (epoch != _epoch) {
+            _ctrlLostDown.inc();
+            return;
+        }
+        _onCtrl(msg);
+    });
 }
 
 // --------------------------------------------------------------- LlcTx
@@ -88,6 +128,13 @@ LlcTx::enqueue(mem::TxnPtr txn)
 {
     TF_ASSERT(mem::flitCount(*txn) <= _params.frameFlits,
               "transaction larger than a frame");
+    if (_linkDown && _onDeadLetter) {
+        // Late arrival on a dead link (e.g. a response that finished
+        // mastering after failover): hand it to the owner to salvage.
+        _deadLetters.inc();
+        _onDeadLetter(std::move(txn));
+        return;
+    }
     _queue.push_back(std::move(txn));
     // Assemble on a deferred kick so same-tick arrivals pack into one
     // frame, matching hardware where the frame fills as flits arrive.
@@ -150,10 +197,28 @@ LlcTx::transmit(const FramePtr &frame, bool replay)
 void
 LlcTx::trySend()
 {
+    if (_linkDown)
+        return; // salvage and re-routing are the datapath's job now
+    if (_replayPending) {
+        // In-order delivery: finish the stalled replay before any new
+        // frame, or the Rx would just discard the new one as a gap.
+        replayFrom(_replayNext);
+        if (_replayPending)
+            return; // still out of credits
+    }
     while (!_queue.empty()) {
         if (_credits == 0) {
-            _creditStalls.inc();
-            return; // a credit return re-kicks via onCtrl
+            if (_replayBuf.empty()) {
+                // Every sent frame is acked yet the credits never came
+                // back: their return messages died on a failed wire.
+                // Nothing is in flight, so the full window is provably
+                // free; resynchronise instead of deadlocking.
+                _creditResyncs.inc();
+                refundCredits(_params.rxQueueFrames);
+            } else {
+                _creditStalls.inc();
+                return; // a credit return re-kicks via onCtrl
+            }
         }
         if (_replayBuf.size() >= _params.replayBufferFrames) {
             return; // an ack re-kicks via onCtrl
@@ -179,20 +244,38 @@ LlcTx::refundCredits(std::uint32_t n)
 void
 LlcTx::onCtrl(const ControlMsg &msg)
 {
+    if (_linkDown)
+        return; // stale control from before the link was declared dead
     if (msg.credits > 0)
         refundCredits(msg.credits);
 
     if (msg.hasAck) {
-        while (!_replayBuf.empty() && _replayBuf.front()->seq <= msg.ack)
+        bool progress = false;
+        while (!_replayBuf.empty() && _replayBuf.front()->seq <= msg.ack) {
             _replayBuf.pop_front();
-        if (_replayBuf.empty())
+            progress = true;
+        }
+        if (progress)
+            _consecTimeouts = 0;
+        if (_replayBuf.empty()) {
+            _replayPending = false;
             disarmTimer();
-        else
+        } else {
             armTimer();
+        }
     }
 
-    if (msg.replayRequest)
+    if (msg.replayRequest) {
+        // A replay request proves the Rx is alive and receiving (gap
+        // detection needs a later frame to arrive): not a dead link.
+        _consecTimeouts = 0;
         replayFrom(msg.replayFrom);
+    } else if (_replayPending && msg.credits > 0) {
+        // Resume a replay that stalled on credit exhaustion; without
+        // this the stalled frames would sit until the next ack
+        // timeout even though credits are available again.
+        replayFrom(_replayNext);
+    }
 
     if (!_queue.empty())
         scheduleKick(now());
@@ -201,22 +284,30 @@ LlcTx::onCtrl(const ControlMsg &msg)
 void
 LlcTx::replayFrom(FrameSeq seq)
 {
+    if (_linkDown)
+        return;
     // The Rx side discarded every frame from `seq` onwards; refund the
     // credits those transmissions consumed, then retransmit in order.
     std::size_t idx = 0;
     while (idx < _replayBuf.size() && _replayBuf[idx]->seq < seq)
         ++idx;
     std::size_t count = _replayBuf.size() - idx;
-    if (count == 0)
+    if (count == 0) {
+        _replayPending = false;
         return;
+    }
     refundCredits(static_cast<std::uint32_t>(count));
     for (; idx < _replayBuf.size(); ++idx) {
         if (_credits == 0) {
             _creditStalls.inc();
-            break;
+            // Remember where to resume once credits are refunded.
+            _replayPending = true;
+            _replayNext = _replayBuf[idx]->seq;
+            return;
         }
         transmit(_replayBuf[idx], true);
     }
+    _replayPending = false;
 }
 
 void
@@ -241,12 +332,100 @@ LlcTx::disarmTimer()
 void
 LlcTx::onAckTimeout()
 {
-    if (_replayBuf.empty())
+    if (_replayBuf.empty() || _linkDown)
         return;
     _timeouts.inc();
+    ++_consecTimeouts;
+    if (_params.maxReplayRounds > 0 &&
+        _consecTimeouts >= _params.maxReplayRounds) {
+        declareLinkDown();
+        return;
+    }
     // Tail loss: nothing after the lost frame arrived to trigger gap
     // detection at the Rx. Assume everything unacked was dropped.
     replayFrom(_replayBuf.front()->seq);
+    // The replay may have sent nothing (credits dry on a dead link); the
+    // timer must keep ticking anyway or escalation would never fire.
+    if (!_replayBuf.empty() && _ackTimer == sim::EventQueue::invalidEvent)
+        armTimer();
+}
+
+void
+LlcTx::connectHealth(HealthFn onLinkDown)
+{
+    _onLinkDown = std::move(onLinkDown);
+}
+
+void
+LlcTx::connectDeadLetter(DeadLetterFn onDeadLetter)
+{
+    _onDeadLetter = std::move(onDeadLetter);
+}
+
+void
+LlcTx::declareLinkDown()
+{
+    _linkDown = true;
+    _linkDowns.inc();
+    disarmTimer();
+    sim::warn("%s: link declared dead after %u consecutive ack timeouts",
+              name().c_str(), _consecTimeouts);
+    if (_onLinkDown)
+        _onLinkDown();
+}
+
+void
+LlcTx::forceLinkDown()
+{
+    if (_linkDown)
+        return;
+    _linkDown = true;
+    _linkDowns.inc();
+    disarmTimer();
+}
+
+std::vector<mem::TxnPtr>
+LlcTx::takeUndelivered()
+{
+    std::vector<mem::TxnPtr> out;
+    for (auto &frame : _replayBuf) {
+        for (auto &txn : frame->txns) {
+            // Empty slots mark transactions the Rx already consumed
+            // (delivery moves the payload out of the shared frame);
+            // only genuinely undelivered ones need salvaging.
+            if (txn != nullptr)
+                out.push_back(std::move(txn));
+        }
+    }
+    _replayBuf.clear();
+    for (auto &txn : _queue)
+        out.push_back(std::move(txn));
+    _queue.clear();
+    _replayPending = false;
+    disarmTimer();
+    return out;
+}
+
+void
+LlcTx::resetLink()
+{
+    disarmTimer();
+    // Unsalvaged replay-buffer transactions go back to the head of the
+    // queue, preserving their original order ahead of queued work.
+    for (auto frameIt = _replayBuf.rbegin(); frameIt != _replayBuf.rend();
+         ++frameIt)
+        for (auto txnIt = (*frameIt)->txns.rbegin();
+             txnIt != (*frameIt)->txns.rend(); ++txnIt)
+            if (*txnIt != nullptr) // skip already-delivered slots
+                _queue.push_front(std::move(*txnIt));
+    _replayBuf.clear();
+    _nextSeq = 0;
+    _credits = _params.rxQueueFrames;
+    _linkDown = false;
+    _consecTimeouts = 0;
+    _replayPending = false;
+    if (!_queue.empty())
+        scheduleKick(now());
 }
 
 void
@@ -258,6 +437,8 @@ LlcTx::reportStats(sim::StatSet &out) const
     out.record("creditStalls", static_cast<double>(_creditStalls.value()));
     out.record("replayedFrames", static_cast<double>(_replays.value()));
     out.record("ackTimeouts", static_cast<double>(_timeouts.value()));
+    out.record("linkDowns", static_cast<double>(_linkDowns.value()));
+    out.record("creditResyncs", static_cast<double>(_creditResyncs.value()));
 }
 
 // --------------------------------------------------------------- LlcRx
@@ -331,6 +512,13 @@ LlcRx::onFrame(FramePtr frame)
 }
 
 void
+LlcRx::resetLink()
+{
+    _expected = 0;
+    _replayPendingFor = false;
+}
+
+void
 LlcRx::reportStats(sim::StatSet &out) const
 {
     out.record("framesDelivered", static_cast<double>(_delivered.value()));
@@ -356,6 +544,32 @@ LlcChannel::LlcChannel(const std::string &name, sim::EventQueue &eq,
                     [this](ControlMsg m) { _txB.onCtrl(m); });
     _wireBA.connect([this](FramePtr f) { _rxA.onFrame(std::move(f)); },
                     [this](ControlMsg m) { _txA.onCtrl(m); });
+}
+
+void
+LlcChannel::fail()
+{
+    _wireAB.fail();
+    _wireBA.fail();
+}
+
+void
+LlcChannel::recover()
+{
+    _wireAB.recover();
+    _wireBA.recover();
+    // Retrain only the directions that escalated to link-down: their
+    // sequence spaces diverged (salvaged frames will never be replayed).
+    // Directions that merely flapped keep continuity, so the replay
+    // protocol delivers their backlog exactly once.
+    if (_txA.linkDown()) {
+        _txA.resetLink();
+        _rxB.resetLink();
+    }
+    if (_txB.linkDown()) {
+        _txB.resetLink();
+        _rxA.resetLink();
+    }
 }
 
 } // namespace tf::flow

@@ -20,6 +20,16 @@
  *    reverse direction); a Tx-side ack timeout still covers tail loss.
  *  - Credits are conservatively capped at the initial allotment, so
  *    refund races heal instead of accumulating.
+ *
+ * Hard failures (this file's robustness extension): a Wire can be
+ * failed outright -- everything in flight and everything sent later is
+ * lost, control messages included. The Tx escalates after
+ * FlowParams::maxReplayRounds consecutive ack timeouts with no ack
+ * progress: it declares the link dead, stops retrying, and raises a
+ * health callback so the datapath can salvage the undelivered
+ * transactions and fail over. Recovery retrains the link: both
+ * directions restart with a fresh sequence space and a full credit
+ * window.
  */
 
 #ifndef TF_FLOW_LLC_HH
@@ -27,6 +37,7 @@
 
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "sim/rng.hh"
 #include "sim/sim_object.hh"
@@ -62,9 +73,25 @@ class Wire : public sim::SimObject
     /** Time at which the wire can accept the next frame. */
     sim::Tick nextFree() const { return _nextFree; }
 
+    /**
+     * Hard fail-down: everything currently in flight is lost, and
+     * every subsequent frame or control message is swallowed until
+     * recover(). The transmitter keeps serialising blindly (it has no
+     * carrier detect); loss is only visible through missing acks.
+     */
+    void fail();
+
+    /** Bring a failed wire back; does not resync LLC state by itself. */
+    void recover();
+
+    bool failed() const { return _failed; }
+
     std::uint64_t framesSent() const { return _framesSent.value(); }
     std::uint64_t framesDropped() const { return _framesDropped.value(); }
     std::uint64_t framesCorrupted() const { return _framesCorrupted.value(); }
+    std::uint64_t framesLostDown() const { return _framesLostDown.value(); }
+    std::uint64_t ctrlLostDown() const { return _ctrlLostDown.value(); }
+    std::uint64_t failEvents() const { return _failEvents.value(); }
     std::uint64_t wireBytes() const { return _wireBytes.value(); }
 
     /** Wire utilisation over [0, now]: busy fraction. */
@@ -77,9 +104,15 @@ class Wire : public sim::SimObject
     CtrlFn _onCtrl;
     sim::Tick _nextFree = 0;
     sim::Tick _busy = 0;
+    bool _failed = false;
+    /** Bumped on fail() so already-scheduled deliveries are dropped. */
+    std::uint64_t _epoch = 0;
     sim::Counter _framesSent;
     sim::Counter _framesDropped;
     sim::Counter _framesCorrupted;
+    sim::Counter _framesLostDown;
+    sim::Counter _ctrlLostDown;
+    sim::Counter _failEvents;
     sim::Counter _wireBytes;
 };
 
@@ -89,14 +122,59 @@ class Wire : public sim::SimObject
 class LlcTx : public sim::SimObject
 {
   public:
+    using HealthFn = std::function<void()>;
+    using DeadLetterFn = std::function<void(mem::TxnPtr)>;
+
     LlcTx(std::string name, sim::EventQueue &eq, const FlowParams &params,
           Wire &wire);
 
-    /** Queue a transaction for transmission. */
+    /**
+     * Queue a transaction for transmission. On a link already declared
+     * dead the transaction goes to the dead-letter handler instead
+     * (late arrivals, e.g. responses finishing after failover), or
+     * stays queued for a future resetLink() if none is connected.
+     */
     void enqueue(mem::TxnPtr txn);
+
+    /** Handler for transactions enqueued after link-down. */
+    void connectDeadLetter(DeadLetterFn onDeadLetter);
 
     /** Deliver reverse-direction control info (credits/acks/replay). */
     void onCtrl(const ControlMsg &msg);
+
+    /** Called once when the Tx declares the channel dead. */
+    void connectHealth(HealthFn onLinkDown);
+
+    /**
+     * Mark the link dead without raising the health callback. The
+     * datapath uses this on the opposite direction of a channel whose
+     * failure was detected first on the other side, so a later
+     * recover() retrains both directions.
+     */
+    void forceLinkDown();
+
+    /** True once replay escalation has declared the channel dead. */
+    bool linkDown() const { return _linkDown; }
+
+    /**
+     * Drain every transaction that was never cumulatively acked
+     * (replay buffer, oldest first) plus everything still queued, so
+     * the owner can re-route them over surviving channels. Frames the
+     * Rx already consumed leave empty slots behind (their payloads
+     * moved on delivery) and are skipped — their responses are
+     * salvaged on the opposite direction. A frame sent but never
+     * consumed reappears here even if it was on the wire when the
+     * link died: failover is at-least-once, and the requester
+     * suppresses duplicate responses.
+     */
+    std::vector<mem::TxnPtr> takeUndelivered();
+
+    /**
+     * Link retrain after recovery: fresh sequence space, full credit
+     * window, escalation state cleared. Unsalvaged replay-buffer
+     * transactions go back to the head of the queue.
+     */
+    void resetLink();
 
     std::uint32_t credits() const { return _credits; }
     std::size_t queueDepth() const { return _queue.size(); }
@@ -108,6 +186,9 @@ class LlcTx : public sim::SimObject
     std::uint64_t creditStalls() const { return _creditStalls.value(); }
     std::uint64_t replayedFrames() const { return _replays.value(); }
     std::uint64_t timeouts() const { return _timeouts.value(); }
+    std::uint64_t linkDownsDeclared() const { return _linkDowns.value(); }
+    std::uint64_t creditResyncs() const { return _creditResyncs.value(); }
+    std::uint64_t deadLetters() const { return _deadLetters.value(); }
 
     void reportStats(sim::StatSet &out) const;
 
@@ -121,12 +202,25 @@ class LlcTx : public sim::SimObject
     bool _kickScheduled = false;
     sim::EventQueue::EventId _ackTimer = sim::EventQueue::invalidEvent;
 
+    // Replay stalled on credit exhaustion; resumes on the next refund.
+    bool _replayPending = false;
+    FrameSeq _replayNext = 0;
+
+    // Hard-failure escalation state.
+    std::uint32_t _consecTimeouts = 0;
+    bool _linkDown = false;
+    HealthFn _onLinkDown;
+    DeadLetterFn _onDeadLetter;
+
     sim::Counter _framesSent;
     sim::Counter _txnsSent;
     sim::Counter _padFlits;
     sim::Counter _creditStalls;
     sim::Counter _replays;
     sim::Counter _timeouts;
+    sim::Counter _linkDowns;
+    sim::Counter _creditResyncs;
+    sim::Counter _deadLetters;
 
     void scheduleKick(sim::Tick when);
     void trySend();
@@ -137,6 +231,7 @@ class LlcTx : public sim::SimObject
     void disarmTimer();
     void onAckTimeout();
     void replayFrom(FrameSeq seq);
+    void declareLinkDown();
 };
 
 /**
@@ -155,6 +250,9 @@ class LlcRx : public sim::SimObject
 
     /** Frame arrival from the forward wire. */
     void onFrame(FramePtr frame);
+
+    /** Link retrain after recovery: expect a fresh sequence space. */
+    void resetLink();
 
     FrameSeq expectedSeq() const { return _expected; }
 
@@ -200,6 +298,19 @@ class LlcChannel
     LlcRx &rxB() { return _rxB; }
     Wire &wireAB() { return _wireAB; }
     Wire &wireBA() { return _wireBA; }
+
+    /** Hard-fail both directions (in-flight traffic is lost). */
+    void fail();
+
+    /**
+     * Repair the channel. Directions whose Tx declared the link dead
+     * are retrained (fresh sequence space + credits on both sides);
+     * directions that merely flapped keep sequence continuity so the
+     * replay protocol delivers exactly once across the outage.
+     */
+    void recover();
+
+    bool failed() const { return _wireAB.failed() || _wireBA.failed(); }
 
   private:
     Wire _wireAB;

@@ -55,6 +55,14 @@ struct FlowParams
     sim::Tick ackTimeout = sim::microseconds(20);
     /** Per-frame probability of loss/corruption on the wire. */
     double frameErrorRate = 0.0;
+    /**
+     * Consecutive ack-timeout rounds (no cumulative-ack progress at
+     * all) after which the Tx declares the channel dead and raises a
+     * link-down event instead of replaying forever. 0 disables
+     * escalation: replay retries indefinitely (transient-loss-only
+     * model, the paper's baseline behaviour).
+     */
+    std::uint32_t maxReplayRounds = 16;
 
     // ---- endpoint ----
     /** Outstanding-transaction tags at the compute endpoint. */

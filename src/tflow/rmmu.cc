@@ -37,6 +37,14 @@ SectionTable::map(std::size_t index, mem::Addr remoteBase,
 }
 
 void
+SectionTable::setBonded(std::size_t index, bool bonded)
+{
+    TF_ASSERT(index < _table.size(), "section index out of range");
+    TF_ASSERT(_table[index].valid, "setBonded on unmapped section");
+    _table[index].bonded = bonded;
+}
+
+void
 SectionTable::unmap(std::size_t index)
 {
     TF_ASSERT(index < _table.size(), "section index out of range");

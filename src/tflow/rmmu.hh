@@ -61,6 +61,12 @@ class SectionTable
     /** Remove the mapping for section @p index. */
     void unmap(std::size_t index);
 
+    /**
+     * Rewrite the bonding flag of a mapped section. Used when a route
+     * repair changes the channel count of an active flow.
+     */
+    void setBonded(std::size_t index, bool bonded);
+
     const SectionEntry &entry(std::size_t index) const;
 
     /** Look up the entry covering @p internal (invalid if unmapped). */

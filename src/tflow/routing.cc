@@ -9,7 +9,9 @@ RoutingLayer::setRoute(mem::NetworkId id, std::vector<int> channels)
 {
     TF_ASSERT(id != mem::invalidNetworkId, "invalid network id");
     TF_ASSERT(!channels.empty(), "route needs at least one channel");
-    _routes[id] = Route{std::move(channels), 0};
+    Route route;
+    route.channels = std::move(channels);
+    _routes[id] = std::move(route);
 }
 
 void
@@ -30,16 +32,62 @@ RoutingLayer::setWeightedRoute(mem::NetworkId id,
     _routes[id] = std::move(route);
 }
 
+void
+RoutingLayer::markChannelDown(int channel)
+{
+    TF_ASSERT(channel >= 0, "invalid channel");
+    auto idx = static_cast<std::size_t>(channel);
+    if (idx >= _channelDown.size())
+        _channelDown.resize(idx + 1, false);
+    if (_channelDown[idx])
+        return;
+    _channelDown[idx] = true;
+    ++_downGen;
+    _failovers.inc();
+}
+
+void
+RoutingLayer::markChannelUp(int channel)
+{
+    TF_ASSERT(channel >= 0, "invalid channel");
+    auto idx = static_cast<std::size_t>(channel);
+    if (idx >= _channelDown.size() || !_channelDown[idx])
+        return;
+    _channelDown[idx] = false;
+    ++_downGen;
+}
+
+bool
+RoutingLayer::channelDown(int channel) const
+{
+    auto idx = static_cast<std::size_t>(channel);
+    return idx < _channelDown.size() && _channelDown[idx];
+}
+
+void
+RoutingLayer::refreshAlive(Route &route)
+{
+    route.aliveIdx.clear();
+    for (std::size_t i = 0; i < route.channels.size(); ++i)
+        if (!channelDown(route.channels[i]))
+            route.aliveIdx.push_back(i);
+    // Restart the spreading state: stale WRR credit earned against the
+    // old channel set would skew the new distribution.
+    route.rr = 0;
+    for (auto &credit : route.wrrCredit)
+        credit = 0;
+    route.seenDownGen = _downGen;
+}
+
 int
 RoutingLayer::weightedPick(Route &route)
 {
-    // Smooth weighted round-robin (nginx-style): add each weight to
-    // its credit, pick the highest credit, subtract the total.
+    // Smooth weighted round-robin (nginx-style) over the alive subset:
+    // add each weight to its credit, pick the highest, subtract total.
     std::int64_t total = 0;
-    std::size_t best = 0;
-    for (std::size_t i = 0; i < route.channels.size(); ++i) {
-        route.wrrCredit[i] +=
-            static_cast<std::int64_t>(route.weights[i]);
+    std::size_t best = route.aliveIdx.front();
+    for (std::size_t i : route.aliveIdx) {
+        route.wrrCredit[i] += static_cast<std::int64_t>(route.weights[i]);
         total += route.weights[i];
         if (route.wrrCredit[i] > route.wrrCredit[best])
             best = i;
@@ -69,14 +117,35 @@ RoutingLayer::route(const mem::MemTxn &txn)
         return -1;
     }
     Route &r = it->second;
-    _routed.inc();
-    if (!txn.bonded || r.channels.size() == 1)
+    if (r.seenDownGen != _downGen)
+        refreshAlive(r);
+
+    if (r.aliveIdx.empty()) {
+        _unroutable.inc();
+        return -1;
+    }
+
+    bool degraded = r.aliveIdx.size() < r.channels.size();
+    if (!txn.bonded || r.channels.size() == 1) {
+        // Non-bonded flows are pinned to their first channel; they
+        // cannot spread, so a down first channel makes them unroutable
+        // until the control plane pushes a repaired route.
+        if (channelDown(r.channels.front())) {
+            _unroutable.inc();
+            return -1;
+        }
+        _routed.inc();
         return r.channels.front();
+    }
+
+    _routed.inc();
+    if (degraded)
+        _degradedTxns.inc();
     if (!r.weights.empty())
         return weightedPick(r);
-    int ch = r.channels[r.rr % r.channels.size()];
+    std::size_t idx = r.aliveIdx[r.rr % r.aliveIdx.size()];
     ++r.rr;
-    return ch;
+    return r.channels[idx];
 }
 
 } // namespace tf::flow

@@ -9,11 +9,18 @@
  * flow is in bonding mode its transactions are spread over the
  * channels round-robin. A channel may be shared by many flows,
  * bonded or not.
+ *
+ * Failover: physical channels can be masked down. Bonded flows
+ * degrade onto the surviving channels (rebalancing their WRR credits
+ * so weights stay proportional within the alive subset); flows whose
+ * every channel is down are reported unroutable, distinct from flows
+ * that were never routed at all.
  */
 
 #ifndef TF_FLOW_ROUTING_HH
 #define TF_FLOW_ROUTING_HH
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -51,13 +58,33 @@ class RoutingLayer
     bool hasRoute(mem::NetworkId id) const;
 
     /**
+     * Mask a physical channel out of every route. Bonded flows fail
+     * over to their surviving channels on the next transaction.
+     */
+    void markChannelDown(int channel);
+
+    /** Clear the mask: flows spread back over the channel. */
+    void markChannelUp(int channel);
+
+    /** True if the channel is currently masked down. */
+    bool channelDown(int channel) const;
+
+    /**
      * Pick the physical channel for a transaction.
-     * @return channel index, or -1 if the flow has no route.
+     * @return channel index, or -1 if the flow has no route or every
+     *         channel it may use is down.
      */
     int route(const mem::MemTxn &txn);
 
     std::uint64_t routed() const { return _routed.value(); }
+    /** Transactions for flows with no route installed at all. */
     std::uint64_t dropped() const { return _dropped.value(); }
+    /** Transactions for known flows whose every channel is down. */
+    std::uint64_t unroutableDropped() const { return _unroutable.value(); }
+    /** Transactions routed while the flow was missing >=1 channel. */
+    std::uint64_t degradedTxns() const { return _degradedTxns.value(); }
+    /** Route alive-set rebuilds triggered by channel state changes. */
+    std::uint64_t failoverEvents() const { return _failovers.value(); }
     std::size_t flows() const { return _routes.size(); }
 
   private:
@@ -69,13 +96,24 @@ class RoutingLayer
         std::vector<std::uint32_t> weights;
         /** Smooth-WRR current credit per channel. */
         std::vector<std::int64_t> wrrCredit;
+        /** Indices into channels[] that are currently up. */
+        std::vector<std::size_t> aliveIdx;
+        /** Channel-mask generation this alive set was built against. */
+        std::uint64_t seenDownGen = ~0ull;
     };
 
     int weightedPick(Route &route);
+    void refreshAlive(Route &route);
 
     std::unordered_map<mem::NetworkId, Route> _routes;
+    std::vector<bool> _channelDown;
+    /** Bumped on every markChannelDown/Up; lazily invalidates routes. */
+    std::uint64_t _downGen = 0;
     sim::Counter _routed;
     sim::Counter _dropped;
+    sim::Counter _unroutable;
+    sim::Counter _degradedTxns;
+    sim::Counter _failovers;
 };
 
 } // namespace tf::flow

@@ -73,6 +73,17 @@ StealingEndpoint::master(mem::TxnPtr txn)
 }
 
 void
+StealingEndpoint::resend(int channel, mem::TxnPtr txn)
+{
+    TF_ASSERT(channel >= 0 &&
+                  static_cast<std::size_t>(channel) < _channelTx.size(),
+              "resend on unknown channel %d", channel);
+    _resent.inc();
+    txn->arrivalChannel = channel;
+    _channelTx[static_cast<std::size_t>(channel)]->enqueue(std::move(txn));
+}
+
+void
 StealingEndpoint::sendResponse(mem::TxnPtr txn)
 {
     int ch = txn->arrivalChannel;

@@ -51,7 +51,15 @@ class StealingEndpoint : public sim::SimObject
      */
     void onNetworkRequest(int channel, mem::TxnPtr txn);
 
+    /**
+     * Requeue a response salvaged from a dead channel's LLC onto a
+     * surviving channel. Overrides the recorded arrival channel: the
+     * original one can no longer carry the response home.
+     */
+    void resend(int channel, mem::TxnPtr txn);
+
     std::uint64_t served() const { return _served.value(); }
+    std::uint64_t resent() const { return _resent.value(); }
 
   private:
     const FlowParams &_params;
@@ -67,6 +75,7 @@ class StealingEndpoint : public sim::SimObject
 
     std::vector<LlcTx *> _channelTx;
     sim::Counter _served;
+    sim::Counter _resent;
 
     void master(mem::TxnPtr txn);
     void sendResponse(mem::TxnPtr txn);

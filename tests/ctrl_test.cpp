@@ -92,6 +92,42 @@ TEST(Graph, ReserveAndRelease)
     EXPECT_DOUBLE_EQ(g.edge(e).free(), 100.0);
 }
 
+TEST(Graph, FindPathAvoidsDownEdges)
+{
+    PropertyGraph g;
+    VertexId a = g.addVertex(VertexType::ComputeEndpoint, "a");
+    VertexId b = g.addVertex(VertexType::SwitchPort, "b");
+    VertexId c = g.addVertex(VertexType::MemoryEndpoint, "c");
+    EdgeId direct = g.addEdge(a, c, 100);
+    g.addEdge(a, b, 100);
+    g.addEdge(b, c, 100);
+
+    // The shorter direct edge goes down: routing detours via b.
+    g.setEdgeUp(direct, false);
+    EXPECT_FALSE(g.edge(direct).up);
+    auto p = g.findPath(a, c, 25);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->edges.size(), 2u);
+    EXPECT_EQ(std::count(p->edges.begin(), p->edges.end(), direct), 0);
+
+    // Back up: the direct edge wins again.
+    g.setEdgeUp(direct, true);
+    auto p2 = g.findPath(a, c, 25);
+    ASSERT_TRUE(p2.has_value());
+    EXPECT_EQ(p2->edges.size(), 1u);
+    EXPECT_EQ(p2->edges[0], direct);
+}
+
+TEST(Graph, OnlyPathDownMeansNoPath)
+{
+    PropertyGraph g;
+    VertexId a = g.addVertex(VertexType::ComputeEndpoint, "a");
+    VertexId c = g.addVertex(VertexType::MemoryEndpoint, "c");
+    EdgeId e = g.addEdge(a, c, 100);
+    g.setEdgeUp(e, false);
+    EXPECT_FALSE(g.findPath(a, c, 25).has_value());
+}
+
 TEST(Graph, DisjointPathsViaExclusion)
 {
     PropertyGraph g;

@@ -252,3 +252,211 @@ INSTANTIATE_TEST_SUITE_P(
                       LlcPropertyParams{0.05, 2},
                       LlcPropertyParams{0.15, 2},
                       LlcPropertyParams{0.3, 8}));
+
+// ------------------------------------------------------------------
+// Replay-stall regression: a replay that runs out of credits must
+// resume when the next credit refund arrives, not wait for the ack
+// timeout. The test drives a bare Wire + LlcTx with hand-crafted
+// control messages and a bounded run that never reaches the (huge)
+// ack timeout, so the old behaviour fails it.
+// ------------------------------------------------------------------
+
+TEST(LlcReplayStall, ResumesOnCreditRefundNotTimeout)
+{
+    sim::EventQueue eq;
+    sim::Rng rng{7};
+    FlowParams params;
+    params.rxQueueFrames = 2;
+    params.ackTimeout = sim::seconds(1); // must never be the rescuer
+
+    Wire wire("wire", eq, params, rng);
+    LlcTx tx("tx", eq, params, wire);
+    std::vector<FramePtr> arrived;
+    wire.connect([&](FramePtr f) { arrived.push_back(std::move(f)); },
+                 [](ControlMsg) {});
+
+    // Three frames: send two (credits 2 -> 0), queue the third.
+    sim::Tick step = sim::microseconds(1);
+    for (int i = 0; i < 3; ++i) {
+        eq.run(static_cast<sim::Tick>(i + 1) * step);
+        tx.enqueue(mem::makeTxn(TxnType::ReadReq,
+                                static_cast<mem::Addr>(i) * 128));
+    }
+    eq.run(4 * step);
+    ASSERT_EQ(arrived.size(), 2u);
+    ASSERT_EQ(tx.credits(), 0u);
+
+    // One credit frees frame 2; all three now sit unacked.
+    ControlMsg credit;
+    credit.credits = 1;
+    tx.onCtrl(credit);
+    eq.run(5 * step);
+    ASSERT_EQ(arrived.size(), 3u);
+    ASSERT_EQ(tx.replayBufDepth(), 3u);
+
+    // Rx asks for a full replay from 0. Credits only cover frames
+    // 0 and 1 (refund caps at the window of 2): the replay stalls
+    // before frame 2.
+    ControlMsg replay;
+    replay.replayRequest = true;
+    replay.replayFrom = 0;
+    tx.onCtrl(replay);
+    eq.run(6 * step);
+    std::size_t beforeRefund = arrived.size();
+    ASSERT_EQ(beforeRefund, 5u); // 3 originals + replayed 0, 1
+
+    // The next credit must resume the stalled replay immediately.
+    tx.onCtrl(credit);
+    eq.run(7 * step);
+
+    bool replayedTail = false;
+    for (std::size_t i = beforeRefund; i < arrived.size(); ++i)
+        if (arrived[i]->seq == 2 && arrived[i]->replayed)
+            replayedTail = true;
+    EXPECT_TRUE(replayedTail)
+        << "stalled replay frame was not resent on credit refund";
+}
+
+// ------------------------------------------------------------------
+// Hard-failure escalation: a dead channel is detected after
+// maxReplayRounds consecutive ack timeouts and raised through the
+// health callback exactly once.
+// ------------------------------------------------------------------
+
+TEST_F(LlcFixture, DeadChannelEscalatesToLinkDown)
+{
+    params.maxReplayRounds = 3;
+    params.ackTimeout = sim::microseconds(2);
+    build();
+    int healthCalls = 0;
+    ch->txA().connectHealth([&]() { ++healthCalls; });
+
+    sendTxns(50);
+    // Kill the channel mid-stream, while frames are still queued.
+    eq.schedule(sim::nanoseconds(300), [&]() { ch->fail(); });
+    eq.run();
+
+    EXPECT_TRUE(ch->txA().linkDown());
+    EXPECT_EQ(healthCalls, 1);
+    EXPECT_EQ(ch->txA().linkDownsDeclared(), 1u);
+    EXPECT_GE(ch->txA().timeouts(), 3u);
+    EXPECT_GT(ch->wireAB().framesLostDown() + ch->wireAB().framesDropped(),
+              0u);
+}
+
+TEST_F(LlcFixture, EscalationDisabledReplaysForever)
+{
+    params.maxReplayRounds = 0; // paper baseline: transient-loss only
+    params.ackTimeout = sim::microseconds(2);
+    build();
+    sendTxns(20);
+    eq.schedule(sim::nanoseconds(200), [&]() { ch->fail(); });
+    eq.run(sim::milliseconds(1));
+    EXPECT_FALSE(ch->txA().linkDown());
+    EXPECT_GT(ch->txA().timeouts(), 10u);
+
+    // A flap heals without losing anything: sequence continuity makes
+    // the outage look like ordinary loss to the replay protocol.
+    ch->recover();
+    eq.run();
+    ASSERT_EQ(deliveredIds.size(), 20u);
+}
+
+TEST_F(LlcFixture, SalvageDrainsTxState)
+{
+    params.maxReplayRounds = 2;
+    params.ackTimeout = sim::microseconds(2);
+    params.rxQueueFrames = 4;
+    build();
+    sendTxns(200);
+    eq.run(sim::microseconds(2));
+    ch->fail();
+    eq.run();
+    ASSERT_TRUE(ch->txA().linkDown());
+
+    auto salvaged = ch->txA().takeUndelivered();
+    EXPECT_GT(salvaged.size(), 0u);
+    EXPECT_EQ(ch->txA().queueDepth(), 0u);
+    EXPECT_EQ(ch->txA().replayBufDepth(), 0u);
+    for (const auto &txn : salvaged)
+        EXPECT_NE(txn, nullptr);
+}
+
+// ------------------------------------------------------------------
+// Soak sweep (robustness satellite): random seeds x combined drop +
+// corrupt + tail loss + mid-stream channel flaps. Escalation is off,
+// so sequence continuity must deliver every transaction exactly once
+// and in order across the outages, and credits must stay conserved.
+// ------------------------------------------------------------------
+
+struct LlcSoakParams
+{
+    std::uint64_t seed;
+    double errorRate;
+    std::uint32_t credits;
+};
+
+class LlcSoak : public ::testing::TestWithParam<LlcSoakParams>
+{
+};
+
+TEST_P(LlcSoak, FlapsAndLossExactlyOnceInOrder)
+{
+    sim::EventQueue eq;
+    sim::Rng rng{GetParam().seed};
+    FlowParams params;
+    params.frameErrorRate = GetParam().errorRate;
+    params.rxQueueFrames = GetParam().credits;
+    params.ackTimeout = sim::microseconds(5);
+    params.maxReplayRounds = 0; // pure-replay mode: flaps must heal
+
+    LlcChannel ch("ch", eq, params, rng);
+    std::vector<std::uint64_t> delivered;
+    ch.rxB().connectSink(
+        [&](TxnPtr txn) { delivered.push_back(txn->id); });
+    ch.rxA().connectSink([](TxnPtr) {});
+
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 1500; ++i) {
+        auto txn = mem::makeTxn(i % 3 == 0 ? TxnType::ReadReq
+                                           : TxnType::WriteReq,
+                                static_cast<mem::Addr>(i) * 128);
+        ids.push_back(txn->id);
+        eq.schedule(static_cast<sim::Tick>(i) * sim::nanoseconds(50),
+                    [&ch, t = std::move(txn)]() mutable {
+                        ch.txA().enqueue(std::move(t));
+                    });
+    }
+    // Two hard flaps in the middle of the stream.
+    eq.schedule(sim::microseconds(30), [&]() { ch.fail(); });
+    eq.schedule(sim::microseconds(45), [&]() { ch.recover(); });
+    eq.schedule(sim::microseconds(60), [&]() { ch.fail(); });
+    eq.schedule(sim::microseconds(70), [&]() { ch.recover(); });
+
+    // Credit conservation, sampled while the storm runs.
+    for (int us = 10; us <= 90; us += 10) {
+        eq.schedule(sim::microseconds(static_cast<std::uint64_t>(us)),
+                    [&]() {
+                        EXPECT_LE(ch.txA().credits(),
+                                  params.rxQueueFrames);
+                    });
+    }
+
+    eq.run();
+    EXPECT_EQ(delivered, ids);
+    EXPECT_FALSE(ch.txA().linkDown());
+    EXPECT_EQ(ch.txA().queueDepth(), 0u);
+    EXPECT_EQ(ch.txA().replayBufDepth(), 0u);
+    EXPECT_LE(ch.txA().credits(), params.rxQueueFrames);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsLossFlaps, LlcSoak,
+    ::testing::Values(LlcSoakParams{1, 0.0, 64},
+                      LlcSoakParams{2, 0.05, 64},
+                      LlcSoakParams{3, 0.15, 64},
+                      LlcSoakParams{4, 0.05, 8},
+                      LlcSoakParams{5, 0.15, 4},
+                      LlcSoakParams{6, 0.3, 16},
+                      LlcSoakParams{7, 0.05, 2},
+                      LlcSoakParams{8, 0.2, 32}));

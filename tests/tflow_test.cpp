@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "mem/dram.hh"
 #include "tflow/datapath.hh"
 
@@ -135,6 +137,82 @@ TEST(RoutingT, ConcurrentFlowsShareChannel)
     EXPECT_EQ(routing.route(*plain), 1);
     EXPECT_EQ(routing.route(*bonded), 1);
     EXPECT_EQ(routing.flows(), 2u);
+}
+
+TEST(RoutingT, BondedFlowDegradesOntoSurvivors)
+{
+    RoutingLayer routing;
+    routing.setRoute(3, {0, 1, 2, 3});
+    auto txn = mem::makeTxn(TxnType::ReadReq, 0);
+    txn->networkId = 3;
+    txn->bonded = true;
+
+    routing.markChannelDown(1);
+    std::vector<int> picks;
+    for (int i = 0; i < 6; ++i)
+        picks.push_back(routing.route(*txn));
+    EXPECT_EQ(picks, (std::vector<int>{0, 2, 3, 0, 2, 3}));
+    EXPECT_EQ(routing.degradedTxns(), 6u);
+    EXPECT_EQ(routing.failoverEvents(), 1u);
+    EXPECT_EQ(routing.unroutableDropped(), 0u);
+
+    // Recovery spreads back over the full set.
+    routing.markChannelUp(1);
+    picks.clear();
+    for (int i = 0; i < 4; ++i)
+        picks.push_back(routing.route(*txn));
+    EXPECT_EQ(picks, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(routing.degradedTxns(), 6u); // no longer degraded
+}
+
+TEST(RoutingT, KnownFlowAllChannelsDownIsUnroutableNotDropped)
+{
+    RoutingLayer routing;
+    routing.setRoute(3, {0, 1});
+    routing.markChannelDown(0);
+    routing.markChannelDown(1);
+    auto txn = mem::makeTxn(TxnType::ReadReq, 0);
+    txn->networkId = 3;
+    txn->bonded = true;
+    EXPECT_EQ(routing.route(*txn), -1);
+    EXPECT_EQ(routing.unroutableDropped(), 1u);
+    EXPECT_EQ(routing.dropped(), 0u); // distinct from unknown flows
+
+    auto unknown = mem::makeTxn(TxnType::ReadReq, 0);
+    unknown->networkId = 9;
+    EXPECT_EQ(routing.route(*unknown), -1);
+    EXPECT_EQ(routing.dropped(), 1u);
+    EXPECT_EQ(routing.unroutableDropped(), 1u);
+}
+
+TEST(RoutingT, NonBondedFlowUnroutableWhenPinnedChannelDies)
+{
+    RoutingLayer routing;
+    routing.setRoute(3, {0, 1});
+    routing.markChannelDown(0);
+    auto txn = mem::makeTxn(TxnType::ReadReq, 0);
+    txn->networkId = 3;
+    txn->bonded = false; // pinned to channel 0, cannot spread
+    EXPECT_EQ(routing.route(*txn), -1);
+    EXPECT_EQ(routing.unroutableDropped(), 1u);
+}
+
+TEST(RoutingT, WeightedRouteRebalancesOnFailure)
+{
+    RoutingLayer routing;
+    routing.setWeightedRoute(3, {0, 1, 2}, {3, 2, 1});
+    auto txn = mem::makeTxn(TxnType::ReadReq, 0);
+    txn->networkId = 3;
+    txn->bonded = true;
+
+    routing.markChannelDown(0); // the heaviest channel dies
+    std::map<int, int> counts;
+    for (int i = 0; i < 300; ++i)
+        ++counts[routing.route(*txn)];
+    EXPECT_EQ(counts.count(0), 0u);
+    // Weights 2:1 over the survivors.
+    EXPECT_EQ(counts[1], 200);
+    EXPECT_EQ(counts[2], 100);
 }
 
 // -------------------------------------------------------- Datapath
