@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over tf_bench JSON results.
+
+Compares every metric in BENCH_<scenario>.json files against the
+checked-in baseline and fails (exit 1) when a metric moved more than
+the threshold in its bad direction: below baseline for higher-is-
+better metrics (bandwidth, throughput, hit ratio), above baseline for
+lower-is-better ones (latency quantiles, replay/stall/drop counts).
+
+The simulator is deterministic under a fixed seed, so any drift is a
+code change, not noise; the 15% default threshold only keeps
+intentional model retunes from needing a baseline refresh for every
+small shift.
+
+Usage:
+  check_regression.py --baseline bench/baseline.json --results DIR
+  check_regression.py --baseline bench/baseline.json --results DIR \
+      --update    # regenerate the baseline from the results
+
+Standard library only (CI runs it on a bare runner).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+LOWER_IS_BETTER_HINTS = (
+    "Us", "Ns", "latency", "replay", "stall", "drop", "teardown",
+)
+
+
+def infer_direction(name):
+    """Metric polarity from its name; used only by --update."""
+    for hint in LOWER_IS_BETTER_HINTS:
+        if hint in name:
+            return "lower"
+    return "higher"
+
+
+def load_results(results_dir):
+    docs = {}
+    pattern = os.path.join(results_dir, "BENCH_*.json")
+    for path in sorted(glob.glob(pattern)):
+        with open(path) as f:
+            doc = json.load(f)
+        if doc.get("schema") != "tf-bench-v1":
+            sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+        docs[doc["scenario"]] = doc
+    if not docs:
+        sys.exit(f"no BENCH_*.json found in {results_dir}")
+    return docs
+
+
+def update_baseline(baseline_path, docs, threshold):
+    scenarios = {}
+    for name, doc in sorted(docs.items()):
+        scenarios[name] = {
+            "config": doc["meta"]["config"],
+            "seed": doc["meta"]["seed"],
+            "metrics": {
+                metric: {
+                    "value": value,
+                    "direction": infer_direction(metric),
+                }
+                for metric, value in doc["metrics"].items()
+            },
+        }
+    baseline = {
+        "schema": "tf-bench-baseline-v1",
+        "threshold": threshold,
+        "scenarios": scenarios,
+    }
+    with open(baseline_path, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    total = sum(len(s["metrics"]) for s in scenarios.values())
+    print(f"baseline refreshed: {len(scenarios)} scenarios, "
+          f"{total} metrics -> {baseline_path}")
+
+
+def check(baseline_path, docs, threshold_override):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    if baseline.get("schema") != "tf-bench-baseline-v1":
+        sys.exit(f"{baseline_path}: unexpected baseline schema")
+    threshold = (threshold_override
+                 if threshold_override is not None
+                 else baseline.get("threshold", 0.15))
+
+    failures = []
+    checked = 0
+    for scenario, base in sorted(baseline["scenarios"].items()):
+        doc = docs.get(scenario)
+        if doc is None:
+            print(f"  [skip] {scenario}: no result file")
+            continue
+        if doc["meta"]["config"] != base.get("config", "smoke"):
+            print(f"  [skip] {scenario}: config "
+                  f"{doc['meta']['config']} != baseline "
+                  f"{base.get('config')}")
+            continue
+        for metric, entry in sorted(base["metrics"].items()):
+            ref = entry["value"]
+            direction = entry.get("direction", "higher")
+            if metric not in doc["metrics"]:
+                failures.append(
+                    f"{scenario}.{metric}: missing from results")
+                continue
+            checked += 1
+            val = doc["metrics"][metric]
+            if ref == 0:
+                continue  # nothing meaningful to compare against
+            change = (val - ref) / abs(ref)
+            bad = (change < -threshold if direction == "higher"
+                   else change > threshold)
+            if bad:
+                failures.append(
+                    f"{scenario}.{metric}: {val:.4g} vs baseline "
+                    f"{ref:.4g} ({change:+.1%}, {direction} is "
+                    f"better, threshold {threshold:.0%})")
+    for name in sorted(set(docs) - set(baseline["scenarios"])):
+        print(f"  [new] {name}: not in baseline (run --update)")
+
+    print(f"checked {checked} metrics against {baseline_path} "
+          f"(threshold {threshold:.0%})")
+    if failures:
+        print(f"{len(failures)} regression(s):")
+        for f_ in failures:
+            print(f"  FAIL {f_}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--results", required=True,
+                    help="directory holding BENCH_*.json files")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="override the baseline's threshold")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the results")
+    args = ap.parse_args()
+
+    docs = load_results(args.results)
+    if args.update:
+        update_baseline(args.baseline, docs,
+                        args.threshold if args.threshold is not None
+                        else 0.15)
+        return 0
+    return check(args.baseline, docs, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

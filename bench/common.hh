@@ -1,56 +1,15 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction benches.
+ *
+ * The setup lists, Bed and makeBed() moved into the unified harness
+ * (harness.hh); this header remains as a shim for the benches that
+ * have not been converted into named scenarios.
  */
 
 #ifndef TF_BENCH_COMMON_HH
 #define TF_BENCH_COMMON_HH
 
-#include <cstdio>
-#include <memory>
-
-#include "system/testbed.hh"
-
-namespace tf::bench {
-
-/** The five experimental configurations of Fig. 4, in paper order. */
-inline const std::vector<sys::Setup> allSetups = {
-    sys::Setup::Local,
-    sys::Setup::SingleDisaggregated,
-    sys::Setup::BondingDisaggregated,
-    sys::Setup::Interleaved,
-    sys::Setup::ScaleOut,
-};
-
-/** The three disaggregated configurations plotted in Fig. 5. */
-inline const std::vector<sys::Setup> streamSetups = {
-    sys::Setup::SingleDisaggregated,
-    sys::Setup::BondingDisaggregated,
-    sys::Setup::Interleaved,
-};
-
-struct Bed
-{
-    std::unique_ptr<sim::EventQueue> eq;
-    std::unique_ptr<sys::Testbed> testbed;
-};
-
-/** Fresh testbed per data point so runs are independent. */
-inline Bed
-makeBed(sys::Setup setup,
-        std::uint64_t donated = 512ULL * 1024 * 1024,
-        std::uint64_t cacheBytes = 64ULL * 1024 * 1024)
-{
-    Bed bed;
-    bed.eq = std::make_unique<sim::EventQueue>();
-    sys::TestbedParams tp;
-    tp.setup = setup;
-    tp.donatedBytes = donated;
-    tp.node.cache = mem::CacheParams{cacheBytes, 8, 128};
-    bed.testbed = std::make_unique<sys::Testbed>(*bed.eq, tp);
-    return bed;
-}
-
-} // namespace tf::bench
+#include "harness.hh"
 
 #endif // TF_BENCH_COMMON_HH

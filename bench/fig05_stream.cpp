@@ -2,58 +2,22 @@
  * @file
  * Fig. 5 reproduction: STREAM sustained memory bandwidth for the
  * single-disaggregated, bonding-disaggregated and interleaved
- * configurations at 4/8/16 threads, with the 12.5 GiB/s theoretical
- * single-channel maximum for reference.
+ * configurations, with the 12.5 GiB/s theoretical single-channel
+ * maximum for reference.
  *
  * Paper shape: single approaches ~10-12.5 GiB/s (copy) and saturates
  * as threads grow; bonding gains ~30% (not 2x, capped by the
  * OpenCAPI C1 128B-transaction ceiling); interleaved outperforms
  * both by mixing local and remote pages 50/50.
+ *
+ * Thin wrapper over the tf_bench scenario of the same name; emits
+ * BENCH_fig05_stream.json (see harness.hh for the schema).
  */
 
-#include "apps/stream.hh"
-#include "common.hh"
-
-using namespace tf;
+#include "harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Fig. 5: STREAM sustained bandwidth (GiB/s) ===\n");
-    std::printf("ThymesisFlow theoretical maximum: 12.5 GiB/s per "
-                "channel\n");
-    std::printf("%-10s %-8s %22s %22s %22s\n", "threads", "kernel",
-                "bonding-disaggregated", "single-disaggregated",
-                "interleaved");
-
-    const std::vector<apps::StreamKernel> kernels = {
-        apps::StreamKernel::Add, apps::StreamKernel::Copy,
-        apps::StreamKernel::Scale, apps::StreamKernel::Triad};
-
-    for (int threads : {4, 8, 16}) {
-        for (auto kernel : kernels) {
-            double gib[3] = {0, 0, 0};
-            int idx = 0;
-            for (auto setup :
-                 {sys::Setup::BondingDisaggregated,
-                  sys::Setup::SingleDisaggregated,
-                  sys::Setup::Interleaved}) {
-                // Small cache (4 MiB) vs 8 MiB arrays: streaming
-                // defeats the cache as in the real 3.66 GiB setup.
-                auto bed = bench::makeBed(setup,
-                                          256ULL * 1024 * 1024,
-                                          4ULL * 1024 * 1024);
-                apps::StreamParams sp;
-                sp.elements = 1024 * 1024; // scaled from 160M
-                sp.threads = threads;
-                sp.iterations = 1;
-                apps::StreamBenchmark bench(*bed.testbed, sp);
-                gib[idx++] = bench.run(kernel).bestGiBs;
-            }
-            std::printf("%-10d %-8s %22.2f %22.2f %22.2f\n", threads,
-                        apps::streamKernelName(kernel), gib[0],
-                        gib[1], gib[2]);
-        }
-    }
-    return 0;
+    return tf::bench::scenarioMain("fig05_stream", argc, argv);
 }

@@ -8,42 +8,15 @@
  * With 4 partitions the ThymesisFlow configurations trail clearly
  * (latency + partition contention). Workload E is saturated by scans
  * for every configuration, so all bars are close.
+ *
+ * Thin wrapper over the tf_bench scenario of the same name; emits
+ * BENCH_fig07_ycsb.json (see harness.hh for the schema).
  */
 
-#include "apps/voltdb.hh"
-#include "common.hh"
-
-using namespace tf;
+#include "harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Fig. 7: YCSB A/E throughput (ops/sec) ===\n");
-    std::printf("%-8s %-10s", "workload", "partitions");
-    for (auto setup : bench::allSetups)
-        std::printf(" %22s", sys::setupName(setup));
-    std::printf("\n");
-
-    for (auto wl : {apps::YcsbWorkload::A, apps::YcsbWorkload::E}) {
-        for (int partitions : {4, 32}) {
-            std::printf("%-8s %-10d", apps::ycsbName(wl),
-                        partitions);
-            double local_tput = 0;
-            for (auto setup : bench::allSetups) {
-                auto bed = bench::makeBed(setup);
-                apps::VoltDbParams vp;
-                vp.workload = wl;
-                vp.partitions = partitions;
-                vp.totalOps =
-                    wl == apps::YcsbWorkload::E ? 6000 : 25000;
-                apps::VoltDbBenchmark bench(*bed.testbed, vp);
-                auto r = bench.run();
-                if (setup == sys::Setup::Local)
-                    local_tput = r.throughputOps;
-                std::printf(" %22.0f", r.throughputOps);
-            }
-            std::printf("   (local=%.0f)\n", local_tput);
-        }
-    }
-    return 0;
+    return tf::bench::scenarioMain("fig07_ycsb", argc, argv);
 }

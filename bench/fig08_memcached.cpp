@@ -7,47 +7,16 @@
  * interleaved/single/bonding mean 614/635/650 us with p90
  * degradation 33/34/64%; scale-out (via Twemproxy) mean 713 us with
  * up to 2x degradation at p90. Average hit ratio 80-82%.
+ *
+ * Thin wrapper over the tf_bench scenario of the same name; emits
+ * BENCH_fig08_memcached.json plus (in full mode) one
+ * fig08_cdf_<setup>.dat CDF series per configuration.
  */
 
-#include <fstream>
-
-#include "apps/memcached.hh"
-#include "common.hh"
-
-using namespace tf;
+#include "harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Fig. 8: Memcached GET latency (ETC model) ===\n");
-    std::printf("%-22s %9s %9s %9s %9s %9s %7s\n", "config",
-                "mean(us)", "p50(us)", "p90(us)", "p99(us)",
-                "ops/sec", "hit%");
-
-    for (auto setup : bench::allSetups) {
-        auto bed = bench::makeBed(setup, 512ULL * 1024 * 1024,
-                                  8ULL * 1024 * 1024);
-        apps::MemcachedParams mp;
-        mp.cacheItems = 120000;
-        mp.keySpaceItems = 180000; // preserves the 10:15 GiB ratio
-        mp.requestsPerThread = 1500;
-        apps::MemcachedBenchmark bench(*bed.testbed, mp);
-        auto r = bench.run();
-        std::printf("%-22s %9.0f %9.0f %9.0f %9.0f %9.0f %6.1f%%\n",
-                    sys::setupName(setup), r.getLatencyUs.mean(),
-                    r.getLatencyUs.quantile(0.5),
-                    r.getLatencyUs.quantile(0.9),
-                    r.getLatencyUs.quantile(0.99), r.throughputOps,
-                    r.hitRatio * 100);
-        // The figure is a CDF: emit the full series per config.
-        std::ofstream cdf(std::string("fig08_cdf_") +
-                          sys::setupName(setup) + ".dat");
-        cdf << "# GET latency (us)  cumulative fraction\n";
-        r.getLatencyUs.writeCdf(cdf, 200);
-    }
-    std::printf("\npaper: local 600us (p90 +19%%); interleaved 614, "
-                "single 635, bonding 650 (p90 +33/34/64%%); "
-                "scale-out 713 (p90 up to +100%%); hit ratio "
-                "80-82%%\n");
-    return 0;
+    return tf::bench::scenarioMain("fig08_memcached", argc, argv);
 }

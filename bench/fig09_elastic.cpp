@@ -11,52 +11,15 @@
  * MA) degrade when shards scale; for MA all configurations are
  * close. Approximate absolute scales: RNQIHBS ~75, RTQ ~800,
  * RSTQ ~125, MA ~1.8K ops/sec.
+ *
+ * Thin wrapper over the tf_bench scenario of the same name; emits
+ * BENCH_fig09_elastic.json (see harness.hh for the schema).
  */
 
-#include "apps/elastic.hh"
-#include "common.hh"
-
-using namespace tf;
+#include "harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Fig. 9: ESRally 'nested' track throughput "
-                "(ops/sec) ===\n");
-    std::printf("%-9s %-7s", "challenge", "shards");
-    for (auto setup : bench::allSetups)
-        std::printf(" %22s", sys::setupName(setup));
-    std::printf("\n");
-
-    struct Point
-    {
-        apps::EsChallenge challenge;
-        std::uint64_t ops;
-    };
-    const std::vector<Point> points = {
-        {apps::EsChallenge::RNQIHBS, 30},
-        {apps::EsChallenge::RTQ, 150},
-        {apps::EsChallenge::RSTQ, 50},
-        {apps::EsChallenge::MA, 400},
-    };
-
-    for (const auto &pt : points) {
-        for (int shards : {5, 32}) {
-            std::printf("%-9s %-7d",
-                        apps::esChallengeName(pt.challenge), shards);
-            for (auto setup : bench::allSetups) {
-                auto bed = bench::makeBed(setup,
-                                          768ULL * 1024 * 1024);
-                apps::ElasticParams ep;
-                ep.challenge = pt.challenge;
-                ep.shards = shards;
-                ep.totalOps = pt.ops;
-                apps::ElasticBenchmark bench(*bed.testbed, ep);
-                auto r = bench.run();
-                std::printf(" %22.1f", r.throughputOps);
-            }
-            std::printf("\n");
-        }
-    }
-    return 0;
+    return tf::bench::scenarioMain("fig09_elastic", argc, argv);
 }

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unified bench harness: named scenarios, deterministic seeds, and a
+ * machine-readable JSON result per run.
+ *
+ * Every scenario runs against a ScenarioContext that collects
+ *  - headline metrics (bandwidth, latency quantiles, throughput),
+ *  - the full hierarchical stats registry of every testbed it drove,
+ *  - run metadata (seed, git SHA, config, simulated ticks, events).
+ * The harness writes one BENCH_<scenario>.json per scenario; with a
+ * fixed seed the document is byte-identical across runs except for
+ * the wall-clock field, which CI's regression gate ignores.
+ */
+
+#ifndef TF_BENCH_HARNESS_HH
+#define TF_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "system/testbed.hh"
+
+namespace tf::bench {
+
+/** The five experimental configurations of Fig. 4, in paper order. */
+inline const std::vector<sys::Setup> allSetups = {
+    sys::Setup::Local,
+    sys::Setup::SingleDisaggregated,
+    sys::Setup::BondingDisaggregated,
+    sys::Setup::Interleaved,
+    sys::Setup::ScaleOut,
+};
+
+/** The three disaggregated configurations plotted in Fig. 5. */
+inline const std::vector<sys::Setup> streamSetups = {
+    sys::Setup::SingleDisaggregated,
+    sys::Setup::BondingDisaggregated,
+    sys::Setup::Interleaved,
+};
+
+struct Bed
+{
+    std::unique_ptr<sim::EventQueue> eq;
+    std::unique_ptr<sys::Testbed> testbed;
+};
+
+/** Fresh testbed per data point so runs are independent. */
+inline Bed
+makeBed(sys::Setup setup,
+        std::uint64_t donated = 512ULL * 1024 * 1024,
+        std::uint64_t cacheBytes = 64ULL * 1024 * 1024,
+        std::uint64_t seed = 42)
+{
+    Bed bed;
+    bed.eq = std::make_unique<sim::EventQueue>();
+    sys::TestbedParams tp;
+    tp.setup = setup;
+    tp.donatedBytes = donated;
+    tp.node.cache = mem::CacheParams{cacheBytes, 8, 128};
+    tp.seed = seed;
+    bed.testbed = std::make_unique<sys::Testbed>(*bed.eq, tp);
+    return bed;
+}
+
+/**
+ * Everything one scenario run produces. Scenarios add headline
+ * metrics and register component stats; the harness serialises the
+ * lot plus run metadata.
+ */
+class ScenarioContext
+{
+  public:
+    ScenarioContext(std::string scenario, std::uint64_t seed,
+                    bool smoke);
+
+    const std::string &scenario() const { return _scenario; }
+    std::uint64_t seed() const { return _seed; }
+    /** True = CI-sized run (short ticks); false = full figure. */
+    bool smoke() const { return _smoke; }
+
+    /** The shared stats registry scenarios register beds into. */
+    sim::StatsRegistry &registry() { return _registry; }
+
+    /** Record one headline metric (insertion order preserved). */
+    void metric(const std::string &name, double value,
+                const std::string &unit = "");
+
+    /** Record mean/p50/p95/p99 of a latency sample, in micro-sec. */
+    void latencyUs(const std::string &prefix,
+                   const sim::SampleStat &s);
+
+    /** Fold a drained event queue into the simTicks/events meta. */
+    void addRun(const sim::EventQueue &eq);
+
+    /**
+     * Serialise the full result document. @p wallMs < 0 omits the
+     * wall-clock field, which makes same-seed runs byte-identical
+     * (the determinism tests rely on this).
+     */
+    std::string toJson(double wallMs = -1) const;
+
+    /** One-line human summary of the headline metrics. */
+    void printSummary(std::FILE *out) const;
+
+  private:
+    struct Metric
+    {
+        std::string name;
+        double value;
+        std::string unit;
+    };
+
+    std::string _scenario;
+    std::uint64_t _seed;
+    bool _smoke;
+    sim::StatsRegistry _registry;
+    std::vector<Metric> _metrics;
+    std::uint64_t _simTicks = 0;
+    std::uint64_t _events = 0;
+};
+
+/** A named, deterministic benchmark scenario. */
+struct Scenario
+{
+    const char *name;
+    const char *description;
+    /** Part of the CI --smoke subset? */
+    bool inSmokeSet;
+    void (*run)(ScenarioContext &ctx);
+};
+
+/** Every registered scenario, in fixed order. */
+const std::vector<Scenario> &scenarios();
+
+/**
+ * The tf_bench entry point: parses --list / --smoke / --scenario /
+ * --seed / --out and runs the selected scenarios, writing one
+ * BENCH_<name>.json each.
+ */
+int harnessMain(int argc, char **argv);
+
+/** Entry point for the single-figure wrapper binaries. */
+int scenarioMain(const std::string &name, int argc, char **argv);
+
+} // namespace tf::bench
+
+#endif // TF_BENCH_HARNESS_HH

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * The named scenarios behind tf_bench and the figure wrappers.
+ *
+ * Each scenario is deterministic under a fixed seed and scales
+ * itself down in smoke mode so the CI bench-smoke job finishes in
+ * seconds. Every bed registers its component stats into the shared
+ * registry (under a per-data-point prefix) and freezes them before
+ * the bed is destroyed.
+ */
+
+#include "harness.hh"
+
+#include <fstream>
+#include <functional>
+
+#include "apps/elastic.hh"
+#include "apps/memcached.hh"
+#include "apps/stream.hh"
+#include "apps/voltdb.hh"
+#include "tflow/datapath.hh"
+
+namespace tf::bench {
+namespace {
+
+// ------------------------- proto_datapath --------------------------
+
+constexpr mem::Addr kWindowBase = 0x2000000000ULL;
+constexpr std::uint64_t kWindowSize = 1ULL << 30;
+constexpr std::uint64_t kSection = 1ULL << 24;
+constexpr mem::Addr kDonorBase = 0x100000000ULL;
+
+/** Bare datapath rig (Section V prototype characterisation). */
+struct Rig
+{
+    sim::EventQueue eq;
+    sim::Rng rng;
+    mem::BackingStore store;
+    std::unique_ptr<mem::Dram> dram;
+    ocapi::PasidRegistry pasids;
+    std::unique_ptr<flow::Datapath> dp;
+
+    explicit Rig(std::uint64_t seed, flow::FlowParams params = {},
+                 mem::DramParams dparams = {})
+        : rng(seed)
+    {
+        dram = std::make_unique<mem::Dram>("donorDram", eq, dparams,
+                                           &store);
+        dp = std::make_unique<flow::Datapath>(
+            "dp", eq, params,
+            ocapi::M1Window{kWindowBase, kWindowSize}, pasids, *dram,
+            rng, kSection);
+        ocapi::Pasid pasid = pasids.allocate();
+        pasids.registerRegion(pasid, kDonorBase, kWindowSize);
+        dp->stealing().setPasid(pasid);
+        dp->attach(0, kDonorBase, 1, {0});
+        dp->attach(1, kDonorBase + kSection, 2, {0, 1});
+    }
+};
+
+/** Issue @p total chained 128 B reads with 192 outstanding. */
+void
+pumpReads(Rig &rig, mem::Addr base, int total)
+{
+    int issued = 0;
+    std::function<void()> one = [&]() {
+        if (issued >= total)
+            return;
+        auto txn = mem::makeTxn(
+            mem::TxnType::ReadReq,
+            base + (static_cast<mem::Addr>(issued) * 128) % kSection);
+        ++issued;
+        txn->onComplete = [&](mem::MemTxn &) { one(); };
+        rig.dp->issue(txn);
+    };
+    for (int i = 0; i < 192 && i < total; ++i)
+        one();
+    rig.eq.run();
+}
+
+void
+runProtoDatapath(ScenarioContext &ctx)
+{
+    const int total = ctx.smoke() ? 8000 : 40000;
+    const int warmup = 2000;
+
+    // Unloaded flit RTT: zero-latency memory isolates the datapath.
+    {
+        mem::DramParams dparams;
+        dparams.accessLatency = 0;
+        dparams.bandwidthBps = 1e15;
+        Rig rig(ctx.seed(), flow::FlowParams{}, dparams);
+        rig.dp->registerStats(ctx.registry(), "proto.rtt");
+        auto txn =
+            mem::makeTxn(mem::TxnType::ReadReq, kWindowBase + 0x100);
+        rig.dp->issue(txn);
+        rig.eq.run();
+        ctx.metric("rttNs", rig.dp->compute().rttNs().mean(), "ns");
+        ctx.addRun(rig.eq);
+        ctx.registry().freezeAll();
+    }
+
+    // Loaded single-channel bandwidth. The warmup fills the credit
+    // and tag pipelines; resetAll() then clears the registered stats
+    // so the exported counters describe the measured phase only.
+    {
+        Rig rig(ctx.seed());
+        rig.dp->registerStats(ctx.registry(), "proto.single");
+        pumpReads(rig, kWindowBase, warmup);
+        ctx.registry().resetAll("proto.single");
+        sim::Tick start = rig.eq.now();
+        pumpReads(rig, kWindowBase, total);
+        double gib = static_cast<double>(total) * 128 /
+                     (1024.0 * 1024 * 1024) /
+                     sim::toSec(rig.eq.now() - start);
+        ctx.metric("singleGiBs", gib, "GiB/s");
+        const sim::SampleStat &rtt = rig.dp->compute().rttNs();
+        ctx.metric("rttP50Ns", rtt.quantile(0.50), "ns");
+        ctx.metric("rttP95Ns", rtt.quantile(0.95), "ns");
+        ctx.metric("rttP99Ns", rtt.quantile(0.99), "ns");
+        ctx.addRun(rig.eq);
+        ctx.registry().freezeAll();
+    }
+
+    // Loaded bonded bandwidth (flow 2 spans both channels).
+    {
+        Rig rig(ctx.seed());
+        rig.dp->registerStats(ctx.registry(), "proto.bonded");
+        pumpReads(rig, kWindowBase + kSection, warmup);
+        ctx.registry().resetAll("proto.bonded");
+        sim::Tick start = rig.eq.now();
+        pumpReads(rig, kWindowBase + kSection, total);
+        double gib = static_cast<double>(total) * 128 /
+                     (1024.0 * 1024 * 1024) /
+                     sim::toSec(rig.eq.now() - start);
+        ctx.metric("bondedGiBs", gib, "GiB/s");
+        ctx.addRun(rig.eq);
+        ctx.registry().freezeAll();
+    }
+
+    // OpenCAPI C1 ceiling with 128 B vs 256 B transactions.
+    for (std::uint32_t bytes : {128u, 256u}) {
+        sim::EventQueue eq;
+        mem::BackingStore store;
+        mem::Dram dram("dram", eq, mem::DramParams{}, &store);
+        ocapi::PasidRegistry pasids;
+        ocapi::C1Master c1("c1", eq, ocapi::C1Params{}, pasids, dram);
+        c1.attachStats(
+            ctx.registry().at("proto.c1b" + std::to_string(bytes)));
+        ocapi::Pasid pasid = pasids.allocate();
+        pasids.registerRegion(pasid, 0, 1ULL << 30);
+        int done = 0;
+        for (int i = 0; i < total; ++i) {
+            auto txn = mem::makeTxn(
+                mem::TxnType::WriteReq,
+                (static_cast<mem::Addr>(i) * bytes) % (1ULL << 30),
+                bytes);
+            txn->data.assign(bytes, 0);
+            c1.master(pasid, txn, [&done](mem::TxnPtr) { ++done; });
+        }
+        eq.run();
+        double gib = static_cast<double>(total) * bytes /
+                     (1024.0 * 1024 * 1024) / sim::toSec(eq.now());
+        ctx.metric("c1GiBs" + std::to_string(bytes), gib, "GiB/s");
+        ctx.addRun(eq);
+        ctx.registry().freezeAll();
+    }
+}
+
+// -------------------------- fig05_stream ---------------------------
+
+void
+runFig05Stream(ScenarioContext &ctx)
+{
+    const std::vector<apps::StreamKernel> kernels =
+        ctx.smoke() ? std::vector<apps::StreamKernel>{
+                          apps::StreamKernel::Copy}
+                    : std::vector<apps::StreamKernel>{
+                          apps::StreamKernel::Add,
+                          apps::StreamKernel::Copy,
+                          apps::StreamKernel::Scale,
+                          apps::StreamKernel::Triad};
+    const std::vector<int> threadCounts =
+        ctx.smoke() ? std::vector<int>{8}
+                    : std::vector<int>{4, 8, 16};
+    const std::uint64_t elements =
+        ctx.smoke() ? 256 * 1024 : 1024 * 1024;
+
+    for (auto setup : streamSetups) {
+        const char *name = sys::setupName(setup);
+        for (int threads : threadCounts) {
+            for (auto kernel : kernels) {
+                // Small cache (4 MiB) vs the streaming arrays:
+                // streaming defeats the cache as in the real setup.
+                auto bed =
+                    makeBed(setup, 256ULL * 1024 * 1024,
+                            4ULL * 1024 * 1024, ctx.seed());
+                std::string point =
+                    std::string(apps::streamKernelName(kernel)) +
+                    std::to_string(threads) + "t." + name;
+                bed.testbed->registerStats(ctx.registry(), point);
+                apps::StreamParams sp;
+                sp.elements = elements;
+                sp.threads = threads;
+                sp.iterations = 1;
+                apps::StreamBenchmark bench(*bed.testbed, sp);
+                auto r = bench.run(kernel);
+                ctx.metric(point, r.bestGiBs, "GiB/s");
+                if (kernel == kernels.front() &&
+                    threads == threadCounts.front()) {
+                    const sim::SampleStat &rtt =
+                        bed.testbed->datapath()->compute().rttNs();
+                    std::string lat = std::string("rtt.") + name;
+                    ctx.metric(lat + ".p50Us",
+                               rtt.quantile(0.50) / 1000, "us");
+                    ctx.metric(lat + ".p95Us",
+                               rtt.quantile(0.95) / 1000, "us");
+                    ctx.metric(lat + ".p99Us",
+                               rtt.quantile(0.99) / 1000, "us");
+                }
+                ctx.addRun(*bed.eq);
+                ctx.registry().freezeAll();
+            }
+        }
+    }
+}
+
+// ------------------------- fig07_ycsb ------------------------------
+
+void
+runFig07Ycsb(ScenarioContext &ctx)
+{
+    const std::vector<int> partitionCounts =
+        ctx.smoke() ? std::vector<int>{4} : std::vector<int>{4, 32};
+    for (auto wl : {apps::YcsbWorkload::A, apps::YcsbWorkload::E}) {
+        for (int partitions : partitionCounts) {
+            for (auto setup : allSetups) {
+                auto bed = makeBed(setup, 512ULL * 1024 * 1024,
+                                   64ULL * 1024 * 1024, ctx.seed());
+                std::string point =
+                    std::string(apps::ycsbName(wl)) + "." +
+                    std::to_string(partitions) + "p." +
+                    sys::setupName(setup);
+                bed.testbed->registerStats(ctx.registry(), point);
+                apps::VoltDbParams vp;
+                vp.workload = wl;
+                vp.partitions = partitions;
+                std::uint64_t ops =
+                    wl == apps::YcsbWorkload::E ? 6000 : 25000;
+                vp.totalOps = ctx.smoke() ? ops / 5 : ops;
+                apps::VoltDbBenchmark bench(*bed.testbed, vp);
+                auto r = bench.run();
+                ctx.metric(point + ".ops", r.throughputOps,
+                           "ops/s");
+                if (wl == apps::YcsbWorkload::A &&
+                    partitions == partitionCounts.front())
+                    ctx.latencyUs(point + ".", r.latencyUs);
+                ctx.addRun(*bed.eq);
+                ctx.registry().freezeAll();
+            }
+        }
+    }
+}
+
+// ------------------------ fig08_memcached --------------------------
+
+void
+runFig08Memcached(ScenarioContext &ctx)
+{
+    for (auto setup : allSetups) {
+        const char *name = sys::setupName(setup);
+        auto bed = makeBed(setup, 512ULL * 1024 * 1024,
+                           8ULL * 1024 * 1024, ctx.seed());
+        bed.testbed->registerStats(ctx.registry(), name);
+        apps::MemcachedParams mp;
+        if (ctx.smoke()) {
+            mp.cacheItems = 24000;
+            mp.keySpaceItems = 36000;
+            mp.requestsPerThread = 300;
+        } else {
+            mp.cacheItems = 120000;
+            mp.keySpaceItems = 180000; // keeps the 10:15 GiB ratio
+            mp.requestsPerThread = 1500;
+        }
+        apps::MemcachedBenchmark bench(*bed.testbed, mp);
+        auto r = bench.run();
+        ctx.metric(std::string("ops.") + name, r.throughputOps,
+                   "ops/s");
+        ctx.metric(std::string("hit.") + name, r.hitRatio);
+        ctx.latencyUs(std::string("get.") + name + ".",
+                      r.getLatencyUs);
+        if (!ctx.smoke()) {
+            // The figure is a CDF: emit the full series per config.
+            std::ofstream cdf(std::string("fig08_cdf_") + name +
+                              ".dat");
+            cdf << "# GET latency (us)  cumulative fraction\n";
+            r.getLatencyUs.writeCdf(cdf, 200);
+        }
+        ctx.addRun(*bed.eq);
+        ctx.registry().freezeAll();
+    }
+}
+
+// ------------------------- fig09_elastic ---------------------------
+
+void
+runFig09Elastic(ScenarioContext &ctx)
+{
+    struct Point
+    {
+        apps::EsChallenge challenge;
+        std::uint64_t ops;
+    };
+    const std::vector<Point> points = {
+        {apps::EsChallenge::RNQIHBS, 30},
+        {apps::EsChallenge::RTQ, 150},
+        {apps::EsChallenge::RSTQ, 50},
+        {apps::EsChallenge::MA, 400},
+    };
+    const std::vector<int> shardCounts =
+        ctx.smoke() ? std::vector<int>{5} : std::vector<int>{5, 32};
+
+    for (const auto &pt : points) {
+        for (int shards : shardCounts) {
+            for (auto setup : allSetups) {
+                auto bed = makeBed(setup, 768ULL * 1024 * 1024,
+                                   64ULL * 1024 * 1024, ctx.seed());
+                std::string point =
+                    std::string(apps::esChallengeName(pt.challenge)) +
+                    "." + std::to_string(shards) + "s." +
+                    sys::setupName(setup);
+                bed.testbed->registerStats(ctx.registry(), point);
+                apps::ElasticParams ep;
+                ep.challenge = pt.challenge;
+                ep.shards = shards;
+                ep.totalOps =
+                    ctx.smoke() ? std::max<std::uint64_t>(
+                                      pt.ops / 5, 10)
+                                : pt.ops;
+                apps::ElasticBenchmark bench(*bed.testbed, ep);
+                auto r = bench.run();
+                ctx.metric(point + ".ops", r.throughputOps,
+                           "ops/s");
+                if (pt.challenge == apps::EsChallenge::RTQ &&
+                    shards == shardCounts.front())
+                    ctx.latencyUs(point + ".", r.latencyUs);
+                ctx.addRun(*bed.eq);
+                ctx.registry().freezeAll();
+            }
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<Scenario> &
+scenarios()
+{
+    static const std::vector<Scenario> table = {
+        {"proto_datapath",
+         "Section V prototype: flit RTT, channel/bonded bandwidth, "
+         "C1 ceiling",
+         true, runProtoDatapath},
+        {"fig05_stream",
+         "Fig. 5: STREAM sustained bandwidth per configuration",
+         true, runFig05Stream},
+        {"fig07_ycsb",
+         "Fig. 7: VoltDB YCSB A/E throughput per configuration",
+         false, runFig07Ycsb},
+        {"fig08_memcached",
+         "Fig. 8: Memcached GET latency under the ETC-style load",
+         true, runFig08Memcached},
+        {"fig09_elastic",
+         "Fig. 9: Elasticsearch 'nested' track throughput",
+         false, runFig09Elastic},
+    };
+    return table;
+}
+
+} // namespace tf::bench

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * tf_bench: run named scenarios and emit BENCH_<name>.json each.
+ * See harness.hh for the scenario registry and document schema.
+ */
+
+#include "harness.hh"
+
+int
+main(int argc, char **argv)
+{
+    return tf::bench::harnessMain(argc, argv);
+}

@@ -201,19 +201,23 @@ ElasticBenchmark::run()
 
     auto issued = std::make_shared<std::uint64_t>(0);
     auto issue = std::make_shared<std::function<void()>>();
-    *issue = [this, issued, issue, &eq, &net, &result]() {
+    // Weak self-reference: a shared capture in the function's own
+    // target would cycle and leak the closed-loop state every run.
+    std::weak_ptr<std::function<void()>> weakIssue = issue;
+    *issue = [this, issued, weakIssue, &eq, &net, &result]() {
         if (*issued >= _params.totalOps)
             return;
         ++*issued;
         sim::Tick sent = eq.now();
-        net.send("client", "serverA", 640, [this, sent, issue, &eq,
-                                            &net, &result]() {
-            runQuery([this, sent, issue, &eq, &net, &result]() {
+        net.send("client", "serverA", 640, [this, sent, weakIssue,
+                                            &eq, &net, &result]() {
+            runQuery([this, sent, weakIssue, &eq, &net, &result]() {
                 net.send("serverA", "client", 8192,
-                         [sent, issue, &eq, &result]() {
+                         [sent, weakIssue, &eq, &result]() {
                              result.latencyUs.add(
                                  sim::toUs(eq.now() - sent));
-                             (*issue)();
+                             if (auto next = weakIssue.lock())
+                                 (*next)();
                          });
             });
         });

@@ -310,7 +310,10 @@ MemcachedBenchmark::run()
         Thread{_params.requestsPerThread});
 
     auto issue = std::make_shared<std::function<void(int)>>();
-    *issue = [this, threads, issue, outstanding, &result,
+    // Weak self-reference: a shared capture in the function's own
+    // target would cycle and leak the closed-loop state every run.
+    std::weak_ptr<std::function<void(int)>> weakIssue = issue;
+    *issue = [this, threads, weakIssue, outstanding, &result,
               &eq](int t) {
         Thread &th = (*threads)[static_cast<std::size_t>(t)];
         if (th.remaining == 0) {
@@ -329,9 +332,9 @@ MemcachedBenchmark::run()
                         static_cast<double>(_params.clientJitter)),
             1e4));
         eq.scheduleIn(stack, [this, key, is_get, bytes, t, sent,
-                              issue, &result, &eq]() {
+                              weakIssue, &result, &eq]() {
             clientRequest(key, is_get, bytes,
-                          [this, t, sent, issue, &result,
+                          [this, t, sent, weakIssue, &result,
                            &eq](bool was_get, bool hit) {
                               (void)hit;
                               double us = sim::toUs(eq.now() - sent);
@@ -339,7 +342,8 @@ MemcachedBenchmark::run()
                                   result.getLatencyUs.add(us);
                               else
                                   result.setLatencyUs.add(us);
-                              (*issue)(t);
+                              if (auto next = weakIssue.lock())
+                                  (*next)(t);
                           });
         });
     };

@@ -95,7 +95,11 @@ StreamBenchmark::runOnce(StreamKernel kernel)
     // chunk is a burst of read-line fills plus write-line RFO fills
     // (dirty evictions surface as write-back traffic automatically).
     auto step = std::make_shared<std::function<void(int)>>();
-    *step = [this, states, step, read_arrays, write_array](int t) {
+    // Continuations hold the function weakly: capturing the
+    // shared_ptr in its own target is a reference cycle that leaks
+    // every per-run state. The local shared_ptr outlives eq.run().
+    std::weak_ptr<std::function<void(int)>> weakStep = step;
+    *step = [this, states, weakStep, read_arrays, write_array](int t) {
         ThreadState &st = (*states)[static_cast<std::size_t>(t)];
         if (st.nextLine >= st.endLine)
             return; // thread done
@@ -116,7 +120,10 @@ StreamBenchmark::runOnce(StreamKernel kernel)
         st.nextLine += chunk;
         _path.burstMixed(_space, std::move(accesses),
                          _params.mlpPerThread,
-                         [step, t]() { (*step)(t); },
+                         [weakStep, t]() {
+                             if (auto s = weakStep.lock())
+                                 (*s)(t);
+                         },
                          /*streamingStores=*/true);
     };
 

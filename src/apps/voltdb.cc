@@ -266,7 +266,11 @@ VoltDbBenchmark::run()
     auto completed = std::make_shared<std::uint64_t>(0);
 
     auto issue = std::make_shared<std::function<void()>>();
-    *issue = [this, issued, completed, issue, &eq, &net, &result]() {
+    // Weak self-reference: a shared capture in the function's own
+    // target would cycle and leak the closed-loop state every run.
+    std::weak_ptr<std::function<void()>> weakIssue = issue;
+    *issue = [this, issued, completed, weakIssue, &eq, &net,
+              &result]() {
         if (*issued >= _params.totalOps)
             return;
         ++*issued;
@@ -283,12 +287,13 @@ VoltDbBenchmark::run()
                                   ? _params.coordinatorScanCpu
                                   : _params.coordinatorCpu;
 
-        auto finish = [this, sent, completed, issue, &eq,
+        auto finish = [this, sent, completed, weakIssue, &eq,
                        &result](std::uint64_t resp) {
             (void)resp;
             result.latencyUs.add(sim::toUs(eq.now() - sent));
             ++*completed;
-            (*issue)();
+            if (auto next = weakIssue.lock())
+                (*next)();
         };
 
         bool remote_partition =

@@ -375,6 +375,19 @@ ControlPlane::forceTeardown(std::uint64_t id)
     _allocations.erase(it);
 }
 
+void
+ControlPlane::attachStats(sim::StatSet &set)
+{
+    set.attach("repairs", _repairs, "events",
+               "path repairs: replacement channel found and pushed");
+    set.attach("degrades", _degrades, "events",
+               "allocations narrowed to fewer channels");
+    set.attach("teardowns", _teardowns, "events",
+               "allocations torn down after losing every channel");
+    set.attach("regrows", _regrows, "events",
+               "allocations regrown to wanted width after recovery");
+}
+
 const AllocationRecord *
 ControlPlane::allocation(std::uint64_t id) const
 {

@@ -111,6 +111,9 @@ class ControlPlane
     /** Allocations regrown to their wanted width after recovery. */
     std::uint64_t regrows() const { return _regrows.value(); }
 
+    /** Attach the repair-ladder outcome counters for telemetry. */
+    void attachStats(sim::StatSet &set);
+
     // ----------------------- REST-style access ---------------------
 
     struct HttpResponse

@@ -70,4 +70,12 @@ Dram::reportStats(sim::StatSet &out) const
     out.record("bytes", static_cast<double>(_bytes.value()), "B");
 }
 
+void
+Dram::attachStats(sim::StatSet &set)
+{
+    set.attach("reads", _reads, "txns");
+    set.attach("writes", _writes, "txns");
+    set.attach("bytes", _bytes, "bytes");
+}
+
 } // namespace tf::mem

@@ -61,6 +61,9 @@ class Dram : public sim::SimObject
 
     void reportStats(sim::StatSet &out) const;
 
+    /** Attach read/write/byte counters for telemetry export. */
+    void attachStats(sim::StatSet &set);
+
   private:
     DramParams _params;
     BackingStore *_store;

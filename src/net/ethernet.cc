@@ -34,6 +34,13 @@ EthLink::send(std::uint64_t bytes, std::function<void()> delivered)
     after(deliver - now(), std::move(delivered));
 }
 
+void
+EthLink::attachStats(sim::StatSet &set)
+{
+    set.attach("messages", _messages, "msgs");
+    set.attach("bytes", _bytes, "bytes");
+}
+
 Network::Network(std::string name, sim::EventQueue &eq)
     : _name(std::move(name)), _eq(eq)
 {
@@ -86,6 +93,13 @@ Network::estimate(const std::string &src, const std::string &dst,
     TF_ASSERT(l != nullptr, "no link %s -> %s", src.c_str(),
               dst.c_str());
     return l->estimate(bytes);
+}
+
+void
+Network::registerStats(sim::StatsRegistry &reg, const std::string &prefix)
+{
+    for (auto &kv : _links)
+        kv.second->attachStats(reg.at(prefix + "." + kv.first));
 }
 
 } // namespace tf::net

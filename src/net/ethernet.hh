@@ -64,6 +64,9 @@ class EthLink : public sim::SimObject
     std::uint64_t messages() const { return _messages.value(); }
     std::uint64_t bytesSent() const { return _bytes.value(); }
 
+    /** Attach message/byte counters for telemetry export. */
+    void attachStats(sim::StatSet &set);
+
     /** Queueing + serialisation + latency a message would see now. */
     sim::Tick estimate(std::uint64_t bytes) const;
 
@@ -99,6 +102,13 @@ class Network
     /** Current one-way estimate (for schedulers / diagnostics). */
     sim::Tick estimate(const std::string &src, const std::string &dst,
                        std::uint64_t bytes) const;
+
+    /**
+     * Register every directed link under "<prefix>.<src>-><dst>";
+     * map iteration keeps the export order deterministic.
+     */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix);
 
   private:
     std::string _name;

@@ -31,6 +31,7 @@ C1Master::master(Pasid pasid, mem::TxnPtr txn, DoneFn done)
     }
 
     _txns.inc();
+    _bytes.inc(txn->size);
     // C1 command pipeline: per-txn overhead + payload serialisation.
     double ser_secs =
         static_cast<double>(txn->size) / _params.rawBandwidthBps;
@@ -38,10 +39,29 @@ C1Master::master(Pasid pasid, mem::TxnPtr txn, DoneFn done)
     sim::Tick start = std::max(now(), _nextFree);
     _nextFree = start + service;
 
+    sim::Tick accepted = now();
     after(_nextFree - now(),
-          [this, txn = std::move(txn), done = std::move(done)]() mutable {
-              _dram.access(std::move(txn), std::move(done));
+          [this, txn = std::move(txn), done = std::move(done),
+           accepted]() mutable {
+              _dram.access(std::move(txn),
+                           [this, done = std::move(done),
+                            accepted](mem::TxnPtr resp) {
+                               _serviceNs.add(
+                                   sim::toNs(now() - accepted));
+                               done(std::move(resp));
+                           });
           });
+}
+
+void
+C1Master::attachStats(sim::StatSet &set)
+{
+    set.attach("txns", _txns, "txns");
+    set.attach("faults", _faults, "txns",
+               "PASID authorisation failures");
+    set.attach("bytes", _bytes, "bytes");
+    set.attach("serviceNs", _serviceNs, "ns",
+               "C1 command accept to DRAM completion");
 }
 
 } // namespace tf::ocapi

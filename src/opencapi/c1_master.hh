@@ -20,6 +20,7 @@
 #include "mem/dram.hh"
 #include "opencapi/pasid.hh"
 #include "sim/sim_object.hh"
+#include "sim/stats.hh"
 
 namespace tf::ocapi {
 
@@ -54,6 +55,13 @@ class C1Master : public sim::SimObject
 
     std::uint64_t faults() const { return _faults.value(); }
     std::uint64_t transactions() const { return _txns.value(); }
+    std::uint64_t bytesMastered() const { return _bytes.value(); }
+
+    /** Command-to-completion service latency (incl. DRAM). */
+    const sim::QuantileSketch &serviceNs() const { return _serviceNs; }
+
+    /** Attach transaction/fault/byte counters + service latency. */
+    void attachStats(sim::StatSet &set);
 
   private:
     C1Params _params;
@@ -62,6 +70,8 @@ class C1Master : public sim::SimObject
     sim::Tick _nextFree = 0;
     sim::Counter _txns;
     sim::Counter _faults;
+    sim::Counter _bytes;
+    sim::QuantileSketch _serviceNs;
 };
 
 } // namespace tf::ocapi

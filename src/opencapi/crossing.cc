@@ -35,9 +35,20 @@ CrossingStage::push(mem::TxnPtr txn)
     sim::Tick deliver = start + ser + _params.latency;
 
     _items.inc();
+    _bytes.inc(wireBytes(*txn));
+    _latencyNs.add(sim::toNs(deliver - now()));
     after(deliver - now(), [this, txn = std::move(txn)]() mutable {
         _out(std::move(txn));
     });
+}
+
+void
+CrossingStage::attachStats(sim::StatSet &set)
+{
+    set.attach("items", _items, "txns");
+    set.attach("bytes", _bytes, "bytes");
+    set.attach("latencyNs", _latencyNs, "ns",
+               "queueing + serialisation + fixed crossing latency");
 }
 
 } // namespace tf::ocapi

@@ -48,13 +48,22 @@ class CrossingStage : public sim::SimObject
     static std::uint32_t wireBytes(const mem::MemTxn &txn);
 
     std::uint64_t itemsForwarded() const { return _items.value(); }
+    std::uint64_t bytesForwarded() const { return _bytes.value(); }
     const CrossingParams &params() const { return _params; }
+
+    /** Per-item crossing latency (queueing + serialisation + fixed). */
+    const sim::QuantileSketch &latencyNs() const { return _latencyNs; }
+
+    /** Attach item/byte counters and the latency sketch. */
+    void attachStats(sim::StatSet &set);
 
   private:
     CrossingParams _params;
     OutFn _out;
     sim::Tick _nextFree = 0;
     sim::Counter _items;
+    sim::Counter _bytes;
+    sim::QuantileSketch _latencyNs;
 };
 
 } // namespace tf::ocapi

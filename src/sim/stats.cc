@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <iomanip>
+#include <sstream>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace tf::sim {
@@ -135,6 +138,75 @@ Histogram::bucketHi(std::size_t i) const
     return bucketLo(i) + _width;
 }
 
+// -------------------------------------------------- QuantileSketch
+
+std::size_t
+QuantileSketch::indexOf(double x)
+{
+    int exp = 0;
+    double mant = std::frexp(x, &exp); // mant in [0.5, 1)
+    exp = std::clamp(exp, kMinExp, kMaxExp);
+    auto sub = static_cast<int>((mant - 0.5) * 2.0 * kSubBuckets);
+    sub = std::clamp(sub, 0, kSubBuckets - 1);
+    return static_cast<std::size_t>(exp - kMinExp) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+}
+
+double
+QuantileSketch::bucketValue(std::size_t index)
+{
+    int exp = static_cast<int>(index / kSubBuckets) + kMinExp;
+    auto sub = static_cast<double>(index % kSubBuckets);
+    double mant = 0.5 + sub / (2.0 * kSubBuckets);
+    return std::ldexp(mant, exp);
+}
+
+void
+QuantileSketch::add(double x, std::uint64_t weight)
+{
+    if (!std::isfinite(x))
+        return;
+    _count += weight;
+    _sum += x * static_cast<double>(weight);
+    _min = std::min(_min, x);
+    _max = std::max(_max, x);
+    if (x <= 0.0) {
+        _zeroCount += weight;
+        return;
+    }
+    std::size_t idx = indexOf(x);
+    if (idx >= _buckets.size())
+        _buckets.resize(idx + 1, 0);
+    _buckets[idx] += weight;
+}
+
+void
+QuantileSketch::reset()
+{
+    *this = QuantileSketch{};
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    TF_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    if (_count == 0)
+        return 0.0;
+    auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(_count - 1));
+    if (rank < _zeroCount)
+        return std::min(_min, 0.0);
+    std::uint64_t seen = _zeroCount;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        seen += _buckets[i];
+        if (seen > rank)
+            return std::clamp(bucketValue(i), _min, _max);
+    }
+    return _max;
+}
+
+// --------------------------------------------------------- StatSet
+
 void
 StatSet::record(const std::string &name, double value,
                 const std::string &unit, const std::string &desc)
@@ -143,9 +215,132 @@ StatSet::record(const std::string &name, double value,
 }
 
 void
+StatSet::attach(const std::string &name, Counter &c,
+                const std::string &unit, const std::string &desc)
+{
+    _attached.push_back(Attachment{name, desc, unit, &c, {}});
+}
+
+void
+StatSet::attach(const std::string &name, Summary &s,
+                const std::string &unit, const std::string &desc)
+{
+    _attached.push_back(Attachment{name, desc, unit, &s, {}});
+}
+
+void
+StatSet::attach(const std::string &name, SampleStat &s,
+                const std::string &unit, const std::string &desc)
+{
+    _attached.push_back(Attachment{name, desc, unit, &s, {}});
+}
+
+void
+StatSet::attach(const std::string &name, Histogram &h,
+                const std::string &unit, const std::string &desc)
+{
+    _attached.push_back(Attachment{name, desc, unit, &h, {}});
+}
+
+void
+StatSet::attach(const std::string &name, QuantileSketch &q,
+                const std::string &unit, const std::string &desc)
+{
+    _attached.push_back(Attachment{name, desc, unit, &q, {}});
+}
+
+void
+StatSet::resetAll()
+{
+    _entries.clear();
+    for (auto &a : _attached) {
+        if (a.frozen.index() != 0) {
+            // Frozen copies are snapshots; resetting them would lose
+            // the only data left. Drop the freeze instead so a later
+            // freeze() re-captures post-reset state -- only valid
+            // while the live object is still alive, which is the
+            // warmup/measure case resetAll() exists for.
+            a.frozen = FrozenStat{};
+        }
+        std::visit([](auto *stat) { stat->reset(); }, a.live);
+    }
+}
+
+void
+StatSet::freeze()
+{
+    for (auto &a : _attached) {
+        if (a.frozen.index() != 0)
+            continue; // already frozen
+        std::visit([&a](auto *stat) { a.frozen = *stat; }, a.live);
+    }
+}
+
+template <typename Fn>
+void
+StatSet::visitAttachment(const Attachment &a, Fn &&fn) const
+{
+    if (a.frozen.index() != 0) {
+        std::visit(
+            [&](const auto &stat) {
+                if constexpr (!std::is_same_v<
+                                  std::decay_t<decltype(stat)>,
+                                  std::monostate>)
+                    fn(stat);
+            },
+            a.frozen);
+    } else {
+        std::visit([&](const auto *stat) { fn(*stat); }, a.live);
+    }
+}
+
+std::vector<StatEntry>
+StatSet::snapshot() const
+{
+    std::vector<StatEntry> rows = _entries;
+    auto row = [&rows](const std::string &name, double v,
+                       const std::string &unit,
+                       const std::string &desc) {
+        rows.push_back(StatEntry{name, desc, unit, v});
+    };
+    for (const auto &a : _attached) {
+        visitAttachment(a, [&](const auto &stat) {
+            using T = std::decay_t<decltype(stat)>;
+            if constexpr (std::is_same_v<T, Counter>) {
+                row(a.name, static_cast<double>(stat.value()), a.unit,
+                    a.desc);
+            } else if constexpr (std::is_same_v<T, Summary>) {
+                row(a.name + ".count",
+                    static_cast<double>(stat.count()), "", a.desc);
+                row(a.name + ".mean", stat.mean(), a.unit, "");
+                row(a.name + ".min", stat.min(), a.unit, "");
+                row(a.name + ".max", stat.max(), a.unit, "");
+                row(a.name + ".stddev", stat.stddev(), a.unit, "");
+            } else if constexpr (std::is_same_v<T, SampleStat> ||
+                                 std::is_same_v<T, QuantileSketch>) {
+                row(a.name + ".count",
+                    static_cast<double>(stat.count()), "", a.desc);
+                row(a.name + ".mean", stat.mean(), a.unit, "");
+                row(a.name + ".p50", stat.quantile(0.50), a.unit, "");
+                row(a.name + ".p95", stat.quantile(0.95), a.unit, "");
+                row(a.name + ".p99", stat.quantile(0.99), a.unit, "");
+            } else if constexpr (std::is_same_v<T, Histogram>) {
+                row(a.name + ".count",
+                    static_cast<double>(stat.count()), "", a.desc);
+                row(a.name + ".underflow",
+                    static_cast<double>(stat.underflow()), "", "");
+                row(a.name + ".overflow",
+                    static_cast<double>(stat.overflow()), "", "");
+            }
+        });
+    }
+    return rows;
+}
+
+void
 StatSet::print(std::ostream &os) const
 {
-    for (const auto &e : _entries) {
+    for (const auto &e : snapshot()) {
         os << std::left << std::setw(44) << (_owner + "." + e.name)
            << ' ' << std::setw(16) << e.value << ' ' << std::setw(8)
            << e.unit;
@@ -153,6 +348,156 @@ StatSet::print(std::ostream &os) const
             os << " # " << e.desc;
         os << '\n';
     }
+}
+
+namespace {
+
+void
+writeDistribution(JsonWriter &w, std::uint64_t count, double mean,
+                  double mn, double mx, const double *stddev,
+                  const std::function<double(double)> &quantile)
+{
+    w.beginObject();
+    w.field("count", count);
+    w.field("mean", mean);
+    w.field("min", mn);
+    w.field("max", mx);
+    if (stddev != nullptr)
+        w.field("stddev", *stddev);
+    if (quantile) {
+        w.field("p50", quantile(0.50));
+        w.field("p90", quantile(0.90));
+        w.field("p95", quantile(0.95));
+        w.field("p99", quantile(0.99));
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+StatSet::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &a : _attached) {
+        w.name(a.name);
+        visitAttachment(a, [&](const auto &stat) {
+            using T = std::decay_t<decltype(stat)>;
+            if constexpr (std::is_same_v<T, Counter>) {
+                w.value(stat.value());
+            } else if constexpr (std::is_same_v<T, Summary>) {
+                double sd = stat.stddev();
+                writeDistribution(w, stat.count(), stat.mean(),
+                                  stat.min(), stat.max(), &sd, {});
+            } else if constexpr (std::is_same_v<T, SampleStat>) {
+                double sd = stat.stddev();
+                writeDistribution(
+                    w, stat.count(), stat.mean(), stat.min(),
+                    stat.max(), &sd,
+                    [&stat](double q) { return stat.quantile(q); });
+            } else if constexpr (std::is_same_v<T, QuantileSketch>) {
+                writeDistribution(
+                    w, stat.count(), stat.mean(), stat.min(),
+                    stat.max(), nullptr,
+                    [&stat](double q) { return stat.quantile(q); });
+            } else if constexpr (std::is_same_v<T, Histogram>) {
+                w.beginObject();
+                w.field("count", stat.count());
+                w.field("underflow", stat.underflow());
+                w.field("overflow", stat.overflow());
+                w.name("buckets");
+                w.beginArray();
+                for (std::size_t i = 0; i < stat.buckets(); ++i) {
+                    if (stat.bucket(i) == 0)
+                        continue; // sparse: zero rows carry no info
+                    w.beginArray();
+                    w.value(stat.bucketLo(i));
+                    w.value(stat.bucketHi(i));
+                    w.value(stat.bucket(i));
+                    w.endArray();
+                }
+                w.endArray();
+                w.endObject();
+            }
+        });
+    }
+    for (const auto &e : _entries)
+        w.field(e.name, e.value);
+    w.endObject();
+}
+
+// --------------------------------------------------- StatsRegistry
+
+StatSet &
+StatsRegistry::at(const std::string &path)
+{
+    TF_ASSERT(!path.empty(), "empty stats path");
+    auto it = _sets.find(path);
+    if (it == _sets.end())
+        it = _sets.emplace(path, std::make_unique<StatSet>(path)).first;
+    return *it->second;
+}
+
+const StatSet *
+StatsRegistry::find(const std::string &path) const
+{
+    auto it = _sets.find(path);
+    return it == _sets.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string>
+StatsRegistry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(_sets.size());
+    for (const auto &[path, set] : _sets)
+        out.push_back(path);
+    return out;
+}
+
+void
+StatsRegistry::resetAll(const std::string &prefix)
+{
+    for (auto &[path, set] : _sets) {
+        if (!prefix.empty() && path != prefix &&
+            path.compare(0, prefix.size() + 1, prefix + ".") != 0)
+            continue;
+        set->resetAll();
+    }
+}
+
+void
+StatsRegistry::freezeAll()
+{
+    for (auto &[path, set] : _sets)
+        set->freeze();
+}
+
+void
+StatsRegistry::print(std::ostream &os) const
+{
+    for (const auto &[path, set] : _sets)
+        set->print(os);
+}
+
+void
+StatsRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &[path, set] : _sets) {
+        w.name(path);
+        set->writeJson(w);
+    }
+    w.endObject();
+}
+
+std::string
+StatsRegistry::toJson(bool pretty) const
+{
+    std::ostringstream oss;
+    JsonWriter w(oss, pretty);
+    writeJson(w);
+    return oss.str();
 }
 
 } // namespace tf::sim

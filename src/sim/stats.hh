@@ -1,10 +1,15 @@
 /**
  * @file
- * Statistics collection: counters, distributions and CDFs.
+ * Statistics collection: counters, distributions, CDFs, quantile
+ * sketches, and the hierarchical stats registry.
  *
- * Benches use these to print the rows/series of the paper's figures.
- * Stats can optionally be registered with a StatSet so a whole
- * component's statistics print together.
+ * Benches use these to print the rows/series of the paper's figures
+ * and -- since the telemetry subsystem -- to export every component's
+ * statistics as one machine-readable JSON document. Components attach
+ * their live stat objects to a StatSet; StatSets register with a
+ * StatsRegistry under a dotted component path ("tflow.llc.ch0.txA"),
+ * and the registry serialises the whole tree deterministically so two
+ * same-seed runs produce byte-identical output.
  */
 
 #ifndef TF_SIM_STATS_HH
@@ -12,11 +17,16 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <variant>
 #include <vector>
 
 namespace tf::sim {
+
+class JsonWriter;
 
 /** Monotonically increasing event counter. */
 class Counter
@@ -118,6 +128,53 @@ class Histogram
     std::uint64_t _count = 0;
 };
 
+/**
+ * HDR-style log-linear quantile sketch: O(1) memory per sample
+ * stream, bounded relative error, deterministic. Values map into
+ * geometric octaves split into kSubBuckets linear sub-buckets
+ * (relative error <= 1/kSubBuckets ~= 3%), so hot-path components
+ * (crossing stages, C1 master) can export latency quantiles without
+ * storing millions of samples. Negative and zero values land in a
+ * dedicated zero bucket.
+ */
+class QuantileSketch
+{
+  public:
+    static constexpr int kSubBuckets = 32;
+    /** frexp exponent range tracked exactly; outliers clamp. */
+    static constexpr int kMinExp = -64;
+    static constexpr int kMaxExp = 64;
+
+    void add(double x, std::uint64_t weight = 1);
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double mean() const
+    {
+        return _count ? _sum / static_cast<double>(_count) : 0.0;
+    }
+
+    /**
+     * Quantile in [0, 1]: representative (lower edge) of the bucket
+     * holding the q-th sample, clamped to the exact observed
+     * min/max. Monotone in q by construction.
+     */
+    double quantile(double q) const;
+
+  private:
+    std::vector<std::uint64_t> _buckets; ///< lazily sized
+    std::uint64_t _zeroCount = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+
+    static std::size_t indexOf(double x);
+    static double bucketValue(std::size_t index);
+};
+
 /** A named, documented stat for grouped reporting. */
 struct StatEntry
 {
@@ -127,7 +184,21 @@ struct StatEntry
     double value;
 };
 
-/** Collects name/value rows from a component and pretty-prints them. */
+/**
+ * Collects a component's statistics for grouped reporting.
+ *
+ * Two kinds of content coexist:
+ *  - recorded rows (record()): point-in-time scalar snapshots, the
+ *    pre-telemetry API kept for ad-hoc reporting;
+ *  - attached stats (attach()): live references to the component's
+ *    own Counter/Summary/SampleStat/Histogram/QuantileSketch members,
+ *    read at export time so they are never stale.
+ *
+ * resetAll() clears recorded rows and resets every attached stat --
+ * benches call it between warmup and measured phases. freeze() deep-
+ * copies attached stats so the owning component may be destroyed
+ * before export (scenario beds are torn down per data point).
+ */
 class StatSet
 {
   public:
@@ -137,15 +208,113 @@ class StatSet
                 const std::string &unit = "",
                 const std::string &desc = "");
 
+    void attach(const std::string &name, Counter &c,
+                const std::string &unit = "",
+                const std::string &desc = "");
+    void attach(const std::string &name, Summary &s,
+                const std::string &unit = "",
+                const std::string &desc = "");
+    void attach(const std::string &name, SampleStat &s,
+                const std::string &unit = "",
+                const std::string &desc = "");
+    void attach(const std::string &name, Histogram &h,
+                const std::string &unit = "",
+                const std::string &desc = "");
+    void attach(const std::string &name, QuantileSketch &q,
+                const std::string &unit = "",
+                const std::string &desc = "");
+
+    /** Reset every attached stat and drop recorded snapshot rows. */
+    void resetAll();
+
+    /**
+     * Replace live references with deep copies of their current
+     * values. After this the owning component may die; exports keep
+     * working. Idempotent.
+     */
+    void freeze();
+
     const std::vector<StatEntry> &entries() const { return _entries; }
     const std::string &owner() const { return _owner; }
+    std::size_t attachedCount() const { return _attached.size(); }
 
-    /** Print "owner.name value unit # desc" rows. */
+    /**
+     * Flatten recorded rows plus attached stats into scalar rows
+     * (summaries/samples/sketches expand to .count/.mean/.p50/...).
+     */
+    std::vector<StatEntry> snapshot() const;
+
+    /** Print "owner.name value unit # desc" rows (snapshot form). */
     void print(std::ostream &os) const;
 
+    /** Emit this set as one JSON object (attached + recorded). */
+    void writeJson(JsonWriter &w) const;
+
   private:
+    using LiveStat = std::variant<Counter *, Summary *, SampleStat *,
+                                  Histogram *, QuantileSketch *>;
+    using FrozenStat =
+        std::variant<std::monostate, Counter, Summary, SampleStat,
+                     Histogram, QuantileSketch>;
+
+    struct Attachment
+    {
+        std::string name;
+        std::string desc;
+        std::string unit;
+        LiveStat live;
+        FrozenStat frozen;
+    };
+
+    template <typename Fn> void visitAttachment(const Attachment &a,
+                                                Fn &&fn) const;
+
     std::string _owner;
     std::vector<StatEntry> _entries;
+    std::vector<Attachment> _attached;
+};
+
+/**
+ * Hierarchical stats registry: one StatSet per dotted component path.
+ * Paths are kept sorted (std::map) so iteration -- and therefore the
+ * JSON export -- is deterministic regardless of registration order.
+ */
+class StatsRegistry
+{
+  public:
+    /** Get-or-create the StatSet registered under @p path. */
+    StatSet &at(const std::string &path);
+
+    /** Lookup without creating; nullptr when absent. */
+    const StatSet *find(const std::string &path) const;
+
+    std::size_t size() const { return _sets.size(); }
+
+    /** Registered paths, sorted. */
+    std::vector<std::string> paths() const;
+
+    /**
+     * resetAll() on every registered set (warmup/measure boundary).
+     * A non-empty @p prefix restricts the reset to @p prefix itself
+     * and the "<prefix>.*" subtree, so sets frozen from
+     * already-destroyed components elsewhere stay untouched.
+     */
+    void resetAll(const std::string &prefix = "");
+
+    /** freeze() every registered set. */
+    void freezeAll();
+
+    /** Print every set, path-prefixed, in path order. */
+    void print(std::ostream &os) const;
+
+    /** One JSON object: { "<path>": { ...set... }, ... }. */
+    void writeJson(JsonWriter &w) const;
+
+    /** Convenience: the full registry as a JSON string. */
+    std::string toJson(bool pretty = true) const;
+
+  private:
+    std::map<std::string, std::unique_ptr<StatSet>> _sets;
 };
 
 } // namespace tf::sim

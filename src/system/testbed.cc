@@ -119,4 +119,20 @@ Testbed::recoverChannel(std::size_t i)
     _datapath->recoverChannel(i);
 }
 
+void
+Testbed::registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix)
+{
+    auto path = [&prefix](const char *leaf) {
+        return prefix.empty() ? std::string(leaf)
+                              : prefix + "." + leaf;
+    };
+    if (_datapath)
+        _datapath->registerStats(reg, path("tflow"));
+    if (_cp)
+        _cp->attachStats(reg.at(path("ctrl")));
+    _network.registerStats(reg, path("net"));
+    _serverB->dram().attachStats(reg.at(path("serverB.dram")));
+}
+
 } // namespace tf::sys

@@ -82,6 +82,18 @@ class Testbed
     void failChannel(std::size_t i);
     void recoverChannel(std::size_t i);
 
+    /**
+     * Register the whole testbed with @p reg under @p prefix:
+     *   tflow[...]   datapath tree (disaggregated setups only)
+     *   ctrl         control-plane repair-ladder outcomes
+     *   net.*        per-link Ethernet counters
+     *   serverB.dram donor memory controller
+     * A non-empty prefix lets several beds share one registry
+     * (e.g. one per setup in a bench scenario).
+     */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix = "");
+
   private:
     sim::EventQueue &_eq;
     TestbedParams _params;

@@ -66,7 +66,9 @@ ComputeEndpoint::routeAndSend(mem::TxnPtr txn)
     txn->addr = _window.toInternal(txn->addr);
     txn->origAddr = txn->addr;
 
-    if (!_rmmu.translate(*txn)) {
+    bool ok = _rmmu.translate(*txn);
+    _xlatNs.add(sim::toNs(now() - txn->issued));
+    if (!ok) {
         failFast(std::move(txn));
         return;
     }
@@ -189,6 +191,31 @@ ComputeEndpoint::reportStats(sim::StatSet &out) const
     out.record("abortedTxns", static_cast<double>(_aborted.value()));
     out.record("rttMeanNs", _rttNs.mean(), "ns");
     out.record("rttP99Ns", _rttNs.quantile(0.99), "ns");
+}
+
+void
+ComputeEndpoint::registerStats(sim::StatsRegistry &reg,
+                               const std::string &prefix)
+{
+    sim::StatSet &set = reg.at(prefix);
+    set.attach("issued", _issued, "txns");
+    set.attach("completed", _completed, "txns");
+    set.attach("tagStalls", _tagStalls, "events",
+               "requests queued on OpenCAPI tag exhaustion");
+    set.attach("duplicateResponses", _dupResponses, "txns",
+               "at-least-once failover duplicates suppressed");
+    set.attach("reroutedRequests", _rerouted, "txns");
+    set.attach("abortedTxns", _aborted, "txns");
+    set.attach("rttNs", _rttNs, "ns",
+               "host-bus round-trip latency");
+    set.attach("xlatNs", _xlatNs, "ns",
+               "issue to RMMU translation (host crossings)");
+    _rmmu.attachStats(reg.at(prefix + ".rmmu"));
+    _routing.attachStats(reg.at(prefix + ".routing"));
+    _hostSerdesDown.attachStats(reg.at(prefix + ".xing.serdesDown"));
+    _stackDown.attachStats(reg.at(prefix + ".xing.stackDown"));
+    _stackUp.attachStats(reg.at(prefix + ".xing.stackUp"));
+    _hostSerdesUp.attachStats(reg.at(prefix + ".xing.serdesUp"));
 }
 
 } // namespace tf::flow

@@ -88,7 +88,19 @@ class ComputeEndpoint : public sim::SimObject
     /** Round-trip latency distribution (ns) seen at the host bus. */
     const sim::SampleStat &rttNs() const { return _rttNs; }
 
+    /** Issue-to-RMMU-translation latency (host crossings + queueing). */
+    const sim::QuantileSketch &xlatNs() const { return _xlatNs; }
+
     void reportStats(sim::StatSet &out) const;
+
+    /**
+     * Register this endpoint's stats under @p prefix: its own set at
+     * @p prefix, the RMMU at "<prefix>.rmmu", the routing layer at
+     * "<prefix>.routing" and the four host-side crossing stages at
+     * "<prefix>.xing.*".
+     */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix);
 
   private:
     const FlowParams &_params;
@@ -115,6 +127,7 @@ class ComputeEndpoint : public sim::SimObject
     sim::Counter _rerouted;
     sim::Counter _aborted;
     sim::SampleStat _rttNs;
+    sim::QuantileSketch _xlatNs;
 
     void admit(mem::TxnPtr txn);
     void routeAndSend(mem::TxnPtr txn);

@@ -56,6 +56,9 @@ Datapath::Datapath(const std::string &name, sim::EventQueue &eq,
     _chDown.assign(_channels.size(), false);
     _compute.connectChannels(std::move(computeTxs));
     _stealing.connectChannels(std::move(stealTxs));
+    // Pre-size the per-channel routing counters so the telemetry
+    // schema is complete before the first transaction flows.
+    _compute.routing().ensureChannels(_channels.size());
 }
 
 void
@@ -220,6 +223,33 @@ Datapath::reportStats(sim::StatSet &out) const
                static_cast<double>(_reroutedResps.value()));
     out.record("droppedResponses",
                static_cast<double>(_droppedResps.value()));
+}
+
+void
+Datapath::registerStats(sim::StatsRegistry &reg,
+                        const std::string &prefix)
+{
+    sim::StatSet &set = reg.at(prefix);
+    set.attach("linkDownEvents", _linkDowns, "events");
+    set.attach("reroutedRequests", _reroutedReqs, "txns",
+               "salvaged requests re-entering the routing layer");
+    set.attach("reroutedResponses", _reroutedResps, "txns",
+               "salvaged responses resent on a surviving channel");
+    set.attach("droppedResponses", _droppedResps, "txns",
+               "salvaged responses with no surviving channel");
+    _compute.registerStats(reg, prefix + ".compute");
+    _stealing.registerStats(reg, prefix + ".stealing");
+    _c1.attachStats(reg.at(prefix + ".c1"));
+    for (std::size_t i = 0; i < _channels.size(); ++i) {
+        const std::string ch =
+            prefix + ".llc.ch" + std::to_string(i);
+        _channels[i]->txA().attachStats(reg.at(ch + ".txA"));
+        _channels[i]->rxA().attachStats(reg.at(ch + ".rxA"));
+        _channels[i]->txB().attachStats(reg.at(ch + ".txB"));
+        _channels[i]->rxB().attachStats(reg.at(ch + ".rxB"));
+        _channels[i]->wireAB().attachStats(reg.at(ch + ".wireAB"));
+        _channels[i]->wireBA().attachStats(reg.at(ch + ".wireBA"));
+    }
 }
 
 } // namespace tf::flow

@@ -112,6 +112,17 @@ class Datapath
 
     void reportStats(sim::StatSet &out) const;
 
+    /**
+     * Register the whole datapath tree with @p reg under @p prefix:
+     *   <prefix>                 failover counters
+     *   <prefix>.compute[...]    endpoint, RMMU, routing, crossings
+     *   <prefix>.llc.ch<i>.*     per-channel LLC Tx/Rx/wires
+     *   <prefix>.stealing[...]   donor endpoint + crossings
+     *   <prefix>.c1              OpenCAPI C1 master
+     */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix);
+
   private:
     FlowParams _params;
     ocapi::C1Master _c1;

@@ -114,6 +114,20 @@ Wire::sendCtrl(ControlMsg msg)
     });
 }
 
+void
+Wire::attachStats(sim::StatSet &set)
+{
+    set.attach("framesSent", _framesSent, "frames");
+    set.attach("framesDropped", _framesDropped, "frames",
+               "injected random loss");
+    set.attach("framesCorrupted", _framesCorrupted, "frames");
+    set.attach("framesLostDown", _framesLostDown, "frames",
+               "swallowed while hard-failed");
+    set.attach("ctrlLostDown", _ctrlLostDown, "msgs");
+    set.attach("failEvents", _failEvents, "events");
+    set.attach("wireBytes", _wireBytes, "bytes");
+}
+
 // --------------------------------------------------------------- LlcTx
 
 LlcTx::LlcTx(std::string name, sim::EventQueue &eq,
@@ -441,6 +455,24 @@ LlcTx::reportStats(sim::StatSet &out) const
     out.record("creditResyncs", static_cast<double>(_creditResyncs.value()));
 }
 
+void
+LlcTx::attachStats(sim::StatSet &set)
+{
+    set.attach("framesSent", _framesSent, "frames");
+    set.attach("txnsSent", _txnsSent, "txns");
+    set.attach("padFlits", _padFlits, "flits");
+    set.attach("creditStalls", _creditStalls, "events",
+               "send blocked on credit exhaustion");
+    set.attach("replayedFrames", _replays, "frames",
+               "go-back-N retransmissions");
+    set.attach("ackTimeouts", _timeouts, "events");
+    set.attach("linkDowns", _linkDowns, "events",
+               "replay escalation declared the channel dead");
+    set.attach("creditResyncs", _creditResyncs, "events");
+    set.attach("deadLetters", _deadLetters, "txns",
+               "salvaged to the failover path after link-down");
+}
+
 // --------------------------------------------------------------- LlcRx
 
 LlcRx::LlcRx(std::string name, sim::EventQueue &eq,
@@ -527,6 +559,17 @@ LlcRx::reportStats(sim::StatSet &out) const
     out.record("duplicates", static_cast<double>(_dups.value()));
     out.record("gaps", static_cast<double>(_gaps.value()));
     out.record("corrupted", static_cast<double>(_corrupted.value()));
+}
+
+void
+LlcRx::attachStats(sim::StatSet &set)
+{
+    set.attach("framesDelivered", _delivered, "frames");
+    set.attach("txnsDelivered", _txnsDelivered, "txns");
+    set.attach("duplicates", _dups, "frames");
+    set.attach("gaps", _gaps, "events",
+               "sequence gaps triggering replay requests");
+    set.attach("corrupted", _corrupted, "frames");
 }
 
 // ---------------------------------------------------------- LlcChannel

@@ -97,6 +97,9 @@ class Wire : public sim::SimObject
     /** Wire utilisation over [0, now]: busy fraction. */
     double utilisation() const;
 
+    /** Attach live counters for telemetry export. */
+    void attachStats(sim::StatSet &set);
+
   private:
     const FlowParams &_params;
     sim::Rng &_rng;
@@ -192,6 +195,9 @@ class LlcTx : public sim::SimObject
 
     void reportStats(sim::StatSet &out) const;
 
+    /** Attach live counters for telemetry export. */
+    void attachStats(sim::StatSet &set);
+
   private:
     const FlowParams &_params;
     Wire &_wire;
@@ -263,6 +269,9 @@ class LlcRx : public sim::SimObject
     std::uint64_t corruptedSeen() const { return _corrupted.value(); }
 
     void reportStats(sim::StatSet &out) const;
+
+    /** Attach live counters for telemetry export. */
+    void attachStats(sim::StatSet &set);
 
   private:
     const FlowParams &_params;

@@ -75,6 +75,15 @@ Rmmu::Rmmu(std::string name, SectionTable table)
 {
 }
 
+void
+Rmmu::attachStats(sim::StatSet &set)
+{
+    set.attach("hits", _translations, "txns",
+               "translations through a valid section entry");
+    set.attach("misses", _faults, "txns",
+               "accesses to unmapped sections (fail fast)");
+}
+
 bool
 Rmmu::translate(mem::MemTxn &txn)
 {

@@ -105,6 +105,9 @@ class Rmmu
     std::uint64_t translations() const { return _translations.value(); }
     std::uint64_t faults() const { return _faults.value(); }
 
+    /** Attach hit/miss counters and the mapped-section gauge. */
+    void attachStats(sim::StatSet &set);
+
   private:
     std::string _name;
     SectionTable _table;

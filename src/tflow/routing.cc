@@ -108,6 +108,45 @@ RoutingLayer::hasRoute(mem::NetworkId id) const
     return _routes.find(id) != _routes.end();
 }
 
+void
+RoutingLayer::ensureChannels(std::size_t n)
+{
+    while (_chRouted.size() < n)
+        _chRouted.emplace_back();
+}
+
+std::uint64_t
+RoutingLayer::routedOnChannel(std::size_t channel) const
+{
+    return channel < _chRouted.size() ? _chRouted[channel].value() : 0;
+}
+
+void
+RoutingLayer::noteRouted(int channel)
+{
+    _routed.inc();
+    if (channel < 0)
+        return;
+    ensureChannels(static_cast<std::size_t>(channel) + 1);
+    _chRouted[static_cast<std::size_t>(channel)].inc();
+}
+
+void
+RoutingLayer::attachStats(sim::StatSet &set)
+{
+    set.attach("routed", _routed, "txns");
+    set.attach("droppedNoRoute", _dropped, "txns",
+               "flows with no route installed");
+    set.attach("droppedUnroutable", _unroutable, "txns",
+               "known flows whose every channel is down");
+    set.attach("degradedTxns", _degradedTxns, "txns",
+               "routed while the flow was missing >=1 channel");
+    set.attach("failoverEvents", _failovers, "events");
+    for (std::size_t i = 0; i < _chRouted.size(); ++i)
+        set.attach("routed.ch" + std::to_string(i), _chRouted[i],
+                   "txns", "per-channel occupancy");
+}
+
 int
 RoutingLayer::route(const mem::MemTxn &txn)
 {
@@ -134,18 +173,22 @@ RoutingLayer::route(const mem::MemTxn &txn)
             _unroutable.inc();
             return -1;
         }
-        _routed.inc();
+        noteRouted(r.channels.front());
         return r.channels.front();
     }
 
-    _routed.inc();
     if (degraded)
         _degradedTxns.inc();
-    if (!r.weights.empty())
-        return weightedPick(r);
-    std::size_t idx = r.aliveIdx[r.rr % r.aliveIdx.size()];
-    ++r.rr;
-    return r.channels[idx];
+    int picked;
+    if (!r.weights.empty()) {
+        picked = weightedPick(r);
+    } else {
+        std::size_t idx = r.aliveIdx[r.rr % r.aliveIdx.size()];
+        ++r.rr;
+        picked = r.channels[idx];
+    }
+    noteRouted(picked);
+    return picked;
 }
 
 } // namespace tf::flow

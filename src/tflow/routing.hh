@@ -21,6 +21,7 @@
 #define TF_FLOW_ROUTING_HH
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -87,6 +88,19 @@ class RoutingLayer
     std::uint64_t failoverEvents() const { return _failovers.value(); }
     std::size_t flows() const { return _routes.size(); }
 
+    /**
+     * Pre-create per-channel occupancy counters for channels
+     * [0, n). route() grows the set on demand; calling this up front
+     * makes the telemetry schema stable before any traffic flows.
+     */
+    void ensureChannels(std::size_t n);
+
+    /** Transactions steered onto physical channel @p channel. */
+    std::uint64_t routedOnChannel(std::size_t channel) const;
+
+    /** Attach routed/drop-taxonomy/per-channel counters. */
+    void attachStats(sim::StatSet &set);
+
   private:
     struct Route
     {
@@ -114,6 +128,11 @@ class RoutingLayer
     sim::Counter _unroutable;
     sim::Counter _degradedTxns;
     sim::Counter _failovers;
+    /** Per-channel occupancy; deque keeps addresses stable so the
+     *  counters stay attachable while the set grows. */
+    std::deque<sim::Counter> _chRouted;
+
+    void noteRouted(int channel);
 };
 
 } // namespace tf::flow

@@ -93,4 +93,19 @@ StealingEndpoint::sendResponse(mem::TxnPtr txn)
     _channelTx[static_cast<std::size_t>(ch)]->enqueue(std::move(txn));
 }
 
+void
+StealingEndpoint::registerStats(sim::StatsRegistry &reg,
+                                const std::string &prefix)
+{
+    sim::StatSet &set = reg.at(prefix);
+    set.attach("served", _served, "txns",
+               "requests mastered into donor memory");
+    set.attach("resent", _resent, "txns",
+               "responses salvaged onto a surviving channel");
+    _stackDown.attachStats(reg.at(prefix + ".xing.stackDown"));
+    _serdesDown.attachStats(reg.at(prefix + ".xing.serdesDown"));
+    _serdesUp.attachStats(reg.at(prefix + ".xing.serdesUp"));
+    _stackUp.attachStats(reg.at(prefix + ".xing.stackUp"));
+}
+
 } // namespace tf::flow

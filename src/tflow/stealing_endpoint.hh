@@ -61,6 +61,14 @@ class StealingEndpoint : public sim::SimObject
     std::uint64_t served() const { return _served.value(); }
     std::uint64_t resent() const { return _resent.value(); }
 
+    /**
+     * Register this endpoint's stats under @p prefix: its own set at
+     * @p prefix and the donor-side crossing stages at
+     * "<prefix>.xing.*".
+     */
+    void registerStats(sim::StatsRegistry &reg,
+                       const std::string &prefix);
+
   private:
     const FlowParams &_params;
     ocapi::C1Master &_c1;
