@@ -28,6 +28,7 @@ import sys
 
 LOWER_IS_BETTER_HINTS = (
     "Us", "Ns", "latency", "replay", "stall", "drop", "teardown",
+    "HighWater", "Compactions", "Cancelled",
 )
 
 

@@ -11,8 +11,10 @@
 
 #include "harness.hh"
 
+#include <chrono>
 #include <fstream>
 #include <functional>
+#include <memory>
 
 #include "apps/elastic.hh"
 #include "apps/memcached.hh"
@@ -22,6 +24,93 @@
 
 namespace tf::bench {
 namespace {
+
+// --------------------------- sim_kernel ----------------------------
+
+/**
+ * Event-kernel microbenchmark. Two legs:
+ *
+ *  - steady: self-rescheduling event chains, no cancellation — the
+ *    pure push/pop floor of the kernel.
+ *  - churn: the LLC ack-timer pattern — every "ack" disarms and
+ *    re-arms a long-dated timeout that never fires, so the kernel
+ *    sees one cancellation per executed event and dead entries pile
+ *    up for a full timeout window unless it reclaims them.
+ *
+ * eventsPerSec* are wall-clock throughput (the only intentionally
+ * non-deterministic metrics in the suite); cancelled / heapHighWater /
+ * compactions are deterministic and gate the kernel's dead-entry
+ * bound in CI.
+ */
+void
+runSimKernel(ScenarioContext &ctx)
+{
+    const std::uint64_t total = ctx.smoke() ? 600'000 : 4'000'000;
+    constexpr int kChans = 64;
+    const sim::Tick ackTimeout = 20'000;
+
+    // Steady leg: kChans independent chains, no cancels.
+    {
+        sim::EventQueue eq;
+        sim::Rng rng(ctx.seed());
+        eq.attachStats(ctx.registry().at("sim.eq.steady"));
+        std::uint64_t fired = 0;
+        std::function<void()> chain = [&]() {
+            if (++fired + kChans <= total)
+                eq.scheduleIn(20 + rng.below(60), chain);
+        };
+        for (int ch = 0; ch < kChans; ++ch)
+            eq.scheduleIn(1 + rng.below(40), chain);
+        auto t0 = std::chrono::steady_clock::now();
+        eq.run();
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        ctx.metric("eventsPerSecSteady",
+                   static_cast<double>(eq.executed()) / secs,
+                   "events/s");
+        ctx.addRun(eq);
+    }
+
+    // Churn leg: ack-progress timer discipline (see file comment).
+    {
+        sim::EventQueue eq;
+        sim::Rng rng(ctx.seed());
+        eq.attachStats(ctx.registry().at("sim.eq.churn"));
+        std::vector<sim::EventQueue::EventId> timer(
+            kChans, sim::EventQueue::invalidEvent);
+        auto payload = std::make_shared<std::uint64_t>(0);
+        std::uint64_t fired = 0;
+        std::function<void(int)> ack = [&](int ch) {
+            if (timer[ch] != sim::EventQueue::invalidEvent)
+                eq.deschedule(timer[ch]);
+            timer[ch] = eq.scheduleIn(
+                ackTimeout, [payload, ch]() { *payload += ch; });
+            ++fired;
+            if (fired + kChans <= total)
+                eq.scheduleIn(20 + rng.below(60),
+                              [&ack, ch]() { ack(ch); });
+        };
+        for (int ch = 0; ch < kChans; ++ch)
+            eq.scheduleIn(1 + rng.below(40), [&ack, ch]() { ack(ch); });
+        auto t0 = std::chrono::steady_clock::now();
+        eq.run();
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        ctx.metric("eventsPerSecChurn",
+                   static_cast<double>(eq.executed()) / secs,
+                   "events/s");
+        ctx.metric("churnCancelled",
+                   static_cast<double>(eq.cancelled()), "events");
+        ctx.metric("churnHeapHighWater",
+                   static_cast<double>(eq.heapHighWater()), "entries");
+        ctx.metric("churnCompactions",
+                   static_cast<double>(eq.compactions()), "events");
+        ctx.addRun(eq);
+    }
+    ctx.registry().freezeAll();
+}
 
 // ------------------------- proto_datapath --------------------------
 
@@ -91,6 +180,7 @@ runProtoDatapath(ScenarioContext &ctx)
         dparams.bandwidthBps = 1e15;
         Rig rig(ctx.seed(), flow::FlowParams{}, dparams);
         rig.dp->registerStats(ctx.registry(), "proto.rtt");
+        rig.eq.attachStats(ctx.registry().at("proto.rtt.eq"));
         auto txn =
             mem::makeTxn(mem::TxnType::ReadReq, kWindowBase + 0x100);
         rig.dp->issue(txn);
@@ -106,6 +196,7 @@ runProtoDatapath(ScenarioContext &ctx)
     {
         Rig rig(ctx.seed());
         rig.dp->registerStats(ctx.registry(), "proto.single");
+        rig.eq.attachStats(ctx.registry().at("proto.single.eq"));
         pumpReads(rig, kWindowBase, warmup);
         ctx.registry().resetAll("proto.single");
         sim::Tick start = rig.eq.now();
@@ -126,6 +217,7 @@ runProtoDatapath(ScenarioContext &ctx)
     {
         Rig rig(ctx.seed());
         rig.dp->registerStats(ctx.registry(), "proto.bonded");
+        rig.eq.attachStats(ctx.registry().at("proto.bonded.eq"));
         pumpReads(rig, kWindowBase + kSection, warmup);
         ctx.registry().resetAll("proto.bonded");
         sim::Tick start = rig.eq.now();
@@ -357,6 +449,10 @@ const std::vector<Scenario> &
 scenarios()
 {
     static const std::vector<Scenario> table = {
+        {"sim_kernel",
+         "Event-kernel events/sec: steady chains + "
+         "schedule/cancel-heavy ack-timer churn",
+         true, runSimKernel},
         {"proto_datapath",
          "Section V prototype: flit RTT, channel/bonded bandwidth, "
          "C1 ceiling",

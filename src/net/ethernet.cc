@@ -21,7 +21,7 @@ EthLink::estimate(std::uint64_t bytes) const
 }
 
 void
-EthLink::send(std::uint64_t bytes, std::function<void()> delivered)
+EthLink::send(std::uint64_t bytes, sim::EventQueue::Callback delivered)
 {
     sim::Tick ser = sim::seconds(static_cast<double>(bytes) /
                                  _params.bandwidthBps) +
@@ -77,7 +77,7 @@ Network::link(const std::string &src, const std::string &dst) const
 
 void
 Network::send(const std::string &src, const std::string &dst,
-              std::uint64_t bytes, std::function<void()> delivered)
+              std::uint64_t bytes, sim::EventQueue::Callback delivered)
 {
     EthLink *l = link(src, dst);
     TF_ASSERT(l != nullptr, "no link %s -> %s", src.c_str(),

@@ -59,7 +59,7 @@ class EthLink : public sim::SimObject
     EthLink(std::string name, sim::EventQueue &eq, EthParams params);
 
     /** Deliver @p bytes to the far end; @p delivered runs on arrival. */
-    void send(std::uint64_t bytes, std::function<void()> delivered);
+    void send(std::uint64_t bytes, sim::EventQueue::Callback delivered);
 
     std::uint64_t messages() const { return _messages.value(); }
     std::uint64_t bytesSent() const { return _bytes.value(); }
@@ -97,7 +97,7 @@ class Network
      * destination after the one-way cost.
      */
     void send(const std::string &src, const std::string &dst,
-              std::uint64_t bytes, std::function<void()> delivered);
+              std::uint64_t bytes, sim::EventQueue::Callback delivered);
 
     /** Current one-way estimate (for schedulers / diagnostics). */
     sim::Tick estimate(const std::string &src, const std::string &dst,

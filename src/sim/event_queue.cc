@@ -1,32 +1,123 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 namespace tf::sim {
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    TF_ASSERT(when >= _now, "scheduling into the past (%llu < %llu)",
+              (unsigned long long)when, (unsigned long long)_now);
+    std::uint32_t slot = allocSlot();
+    std::uint32_t gen = _slots[slot].gen;
+    _slots[slot].cb = std::move(cb);
+    _heap.push_back(Entry{when, ++_nextSeq, slot, gen,
+                          static_cast<std::int32_t>(prio)});
+    std::push_heap(_heap.begin(), _heap.end(), Later{});
+    ++_live;
+    if (_heap.size() > _highWater.value())
+        _highWater.inc(_heap.size() - _highWater.value());
+    return makeId(slot, gen);
+}
 
 void
 EventQueue::deschedule(EventId id)
 {
-    _live.erase(id);
+    std::uint32_t slot = static_cast<std::uint32_t>(id >> 32);
+    std::uint32_t gen = static_cast<std::uint32_t>(id);
+    if (gen == 0 || slot >= _slots.size() || _slots[slot].gen != gen)
+        return; // already fired, already cancelled, or never existed
+    // Eager release: captured shared_ptrs die *now*, not when the dead
+    // heap entry eventually reaches the top.
+    _slots[slot].cb.reset();
+    recycleSlot(slot);
+    --_live;
+    ++_dead;
+    _cancelled.inc();
+    maybeCompact();
+    checkOccupancyBound();
+}
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (!_freeSlots.empty()) {
+        std::uint32_t slot = _freeSlots.back();
+        _freeSlots.pop_back();
+        return slot;
+    }
+    TF_ASSERT(_slots.size() < (1ULL << 32), "event slot space exhausted");
+    _slots.emplace_back();
+    return static_cast<std::uint32_t>(_slots.size() - 1);
+}
+
+void
+EventQueue::recycleSlot(std::uint32_t slot)
+{
+    // Bump the generation so any Entry (or EventId) still referring to
+    // the old incarnation reads as stale; 0 is reserved for invalid.
+    if (++_slots[slot].gen == 0)
+        ++_slots[slot].gen;
+    _freeSlots.push_back(slot);
+}
+
+void
+EventQueue::maybeCompact()
+{
+    if (_dead <= kCompactMinDead || _dead <= _live)
+        return;
+    std::erase_if(_heap, [this](const Entry &e) { return stale(e); });
+    std::make_heap(_heap.begin(), _heap.end(), Later{});
+    _dead = 0;
+    _compactions.inc();
+}
+
+void
+EventQueue::checkOccupancyBound() const
+{
+    TF_ASSERT(_dead <= std::max(_live, kCompactMinDead),
+              "dead heap entries exceed the compaction bound "
+              "(%zu dead, %zu live)",
+              _dead, _live);
+}
+
+template <typename Stop>
+std::uint64_t
+EventQueue::drain(Tick limit, Stop stop)
+{
+    std::uint64_t count = 0;
+    while (!_heap.empty() && !stop(count)) {
+        if (_heap.front().when > limit)
+            break;
+        std::pop_heap(_heap.begin(), _heap.end(), Later{});
+        Entry e = _heap.back();
+        _heap.pop_back();
+        if (stale(e)) {
+            --_dead;
+            continue; // cancelled; callback was freed at deschedule
+        }
+        // Move the winner's callback out of its slot and retire the
+        // slot *before* invoking: the callback may schedule (growing
+        // _slots) or deschedule reentrantly.
+        Callback cb = std::move(_slots[e.slot].cb);
+        _slots[e.slot].cb.reset();
+        recycleSlot(e.slot);
+        --_live;
+        TF_ASSERT(e.when >= _now, "time went backwards");
+        _now = e.when;
+        _executed.inc();
+        ++count;
+        cb();
+    }
+    return count;
 }
 
 std::uint64_t
 EventQueue::run(Tick limit)
 {
-    std::uint64_t count = 0;
-    while (!_heap.empty()) {
-        const Entry &top = _heap.top();
-        if (top.when > limit)
-            break;
-        Entry e{top.when, top.prio, top.id,
-                std::move(const_cast<Entry &>(top).cb)};
-        _heap.pop();
-        if (_live.erase(e.id) == 0)
-            continue; // cancelled
-        TF_ASSERT(e.when >= _now, "time went backwards");
-        _now = e.when;
-        ++_executed;
-        ++count;
-        e.cb();
-    }
+    std::uint64_t count =
+        drain(limit, [](std::uint64_t) { return false; });
     if (limit != maxTick && _now < limit)
         _now = limit;
     return count;
@@ -35,28 +126,29 @@ EventQueue::run(Tick limit)
 std::uint64_t
 EventQueue::runEvents(std::uint64_t maxEvents)
 {
-    std::uint64_t count = 0;
-    while (!_heap.empty() && count < maxEvents) {
-        Entry e{_heap.top().when, _heap.top().prio, _heap.top().id,
-                std::move(const_cast<Entry &>(_heap.top()).cb)};
-        _heap.pop();
-        if (_live.erase(e.id) == 0)
-            continue;
-        _now = e.when;
-        ++_executed;
-        ++count;
-        e.cb();
-    }
-    return count;
+    return drain(maxTick,
+                 [maxEvents](std::uint64_t n) { return n >= maxEvents; });
 }
 
 void
 EventQueue::warp(Tick when)
 {
     TF_ASSERT(when >= _now, "warping into the past");
-    TF_ASSERT(_heap.empty() || _heap.top().when >= when,
+    TF_ASSERT(_heap.empty() || _heap.front().when >= when,
               "warping past scheduled events");
     _now = when;
+}
+
+void
+EventQueue::attachStats(StatSet &set)
+{
+    set.attach("executed", _executed, "events");
+    set.attach("cancelled", _cancelled, "events",
+               "descheduled before firing");
+    set.attach("compactions", _compactions, "events",
+               "dead-entry heap compaction passes");
+    set.attach("heapHighWater", _highWater, "entries",
+               "peak physical heap occupancy (live + dead)");
 }
 
 } // namespace tf::sim

@@ -6,19 +6,34 @@
  * Sequence numbers make same-tick ordering deterministic: events
  * scheduled first run first. All simulation state advances only through
  * this queue, so every run with the same seed is bit-reproducible.
+ *
+ * Hot-path design (see DESIGN.md §10):
+ *  - The heap is an owned vector of small POD entries ordered with
+ *    std::push_heap/std::pop_heap; callbacks live in a side slot
+ *    array, so heap sifts move 32-byte PODs and the winning callback
+ *    is moved out of its slot legally (no const_cast on a
+ *    priority_queue top).
+ *  - Liveness is generation-based: an EventId encodes (slot,
+ *    generation). deschedule() is O(1) — it destroys the slot's
+ *    callback eagerly (releasing captured shared state immediately),
+ *    recycles the slot under a bumped generation, and leaves a dead
+ *    POD entry behind. A dead entry is recognised at pop time by its
+ *    stale generation.
+ *  - Dead entries are physically bounded: when they outnumber live
+ *    ones (beyond a small floor) the heap is compacted in place, so
+ *    cancel-heavy workloads (ack-timer churn) cannot inflate every
+ *    push/pop to log(live + dead).
  */
 
 #ifndef TF_SIM_EVENT_QUEUE_HH
 #define TF_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 #include "sim/ticks.hh"
 
 namespace tf::sim {
@@ -34,11 +49,18 @@ enum class EventPriority : int {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
     /** Opaque handle identifying a scheduled event (for deschedule). */
     using EventId = std::uint64_t;
     static constexpr EventId invalidEvent = 0;
+
+    /**
+     * Compaction floor: dead heap entries are tolerated until they
+     * exceed both this floor and the live entry count. Bound on the
+     * physical heap: heapSize() <= 2 * pending() + kCompactMinDead.
+     */
+    static constexpr std::size_t kCompactMinDead = 64;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -51,17 +73,8 @@ class EventQueue
      * Schedule @p cb to run at absolute time @p when.
      * @return a handle usable with deschedule().
      */
-    EventId
-    schedule(Tick when, Callback cb,
-             EventPriority prio = EventPriority::Default)
-    {
-        TF_ASSERT(when >= _now, "scheduling into the past (%llu < %llu)",
-                  (unsigned long long)when, (unsigned long long)_now);
-        EventId id = ++_nextId;
-        _heap.push(Entry{when, static_cast<int>(prio), id, std::move(cb)});
-        _live.insert(id);
-        return id;
-    }
+    EventId schedule(Tick when, Callback cb,
+                     EventPriority prio = EventPriority::Default);
 
     /** Schedule @p cb to run @p delay ticks from now. */
     EventId
@@ -72,17 +85,18 @@ class EventQueue
     }
 
     /**
-     * Cancel a previously scheduled event. Lazy: the entry stays in the
-     * heap but is skipped when popped. Cancelling an already-fired or
-     * unknown id is a no-op.
+     * Cancel a previously scheduled event. O(1): the callback (and
+     * everything it captured) is destroyed immediately; only a small
+     * POD entry stays in the heap until it is popped or compacted
+     * away. Cancelling an already-fired or unknown id is a no-op.
      */
     void deschedule(EventId id);
 
     /** Number of events still scheduled (excluding cancelled ones). */
-    std::size_t pending() const { return _live.size(); }
+    std::size_t pending() const { return _live; }
 
     /** True when no runnable events remain. */
-    bool empty() const { return _live.empty(); }
+    bool empty() const { return _live == 0; }
 
     /**
      * Run events until the queue drains or @p limit is reached.
@@ -95,7 +109,7 @@ class EventQueue
     std::uint64_t runEvents(std::uint64_t maxEvents);
 
     /** Total events executed over the queue's lifetime. */
-    std::uint64_t executed() const { return _executed; }
+    std::uint64_t executed() const { return _executed.value(); }
 
     /**
      * Advance time to @p when without running anything before it.
@@ -103,13 +117,47 @@ class EventQueue
      */
     void warp(Tick when);
 
+    // ---- kernel health (telemetry) ----
+
+    /** Physical heap occupancy, live + not-yet-reclaimed dead. */
+    std::size_t heapSize() const { return _heap.size(); }
+
+    /** Cancelled (but not yet reclaimed) entries still in the heap. */
+    std::size_t deadEntries() const { return _dead; }
+
+    /** Lifetime peak of the physical heap occupancy. */
+    std::uint64_t heapHighWater() const { return _highWater.value(); }
+
+    /** Events cancelled via deschedule() over the queue's lifetime. */
+    std::uint64_t cancelled() const { return _cancelled.value(); }
+
+    /** Dead-entry compaction passes over the queue's lifetime. */
+    std::uint64_t compactions() const { return _compactions.value(); }
+
+    /** Attach kernel counters ("sim.eq.*") for telemetry export. */
+    void attachStats(StatSet &set);
+
   private:
+    /**
+     * Heap ordering key. The callback is *not* here: entries are
+     * relocated O(log n) times per event by the heap algorithms, and
+     * dead ones linger until compaction, so they must stay small and
+     * trivially movable.
+     */
     struct Entry
     {
         Tick when;
-        int prio;
-        EventId id;
+        std::uint64_t seq; ///< global schedule order, same-tick FIFO
+        std::uint32_t slot;
+        std::uint32_t gen;
+        std::int32_t prio;
+    };
+
+    /** Callback storage, recycled through a freelist. */
+    struct Slot
+    {
         Callback cb;
+        std::uint32_t gen = 1;
     };
 
     struct Later
@@ -121,15 +169,39 @@ class EventQueue
                 return a.when > b.when;
             if (a.prio != b.prio)
                 return a.prio > b.prio;
-            return a.id > b.id;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
-    std::unordered_set<EventId> _live;
+    static constexpr EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(slot) << 32) | gen;
+    }
+
+    std::uint32_t allocSlot();
+    void recycleSlot(std::uint32_t slot);
+    /** True when the heap entry's event was cancelled or already ran. */
+    bool
+    stale(const Entry &e) const
+    {
+        return _slots[e.slot].gen != e.gen;
+    }
+    void maybeCompact();
+    void checkOccupancyBound() const;
+    template <typename Stop> std::uint64_t drain(Tick limit, Stop stop);
+
+    std::vector<Entry> _heap;
+    std::vector<Slot> _slots;
+    std::vector<std::uint32_t> _freeSlots;
+    std::size_t _live = 0;
+    std::size_t _dead = 0;
     Tick _now = 0;
-    EventId _nextId = 0;
-    std::uint64_t _executed = 0;
+    std::uint64_t _nextSeq = 0;
+    Counter _executed;
+    Counter _cancelled;
+    Counter _compactions;
+    Counter _highWater;
 };
 
 } // namespace tf::sim

@@ -39,6 +39,77 @@ struct Frame
 using FramePtr = std::shared_ptr<Frame>;
 
 /**
+ * Freelist pool for Frame objects.
+ *
+ * Every wire transmission allocates a Frame (and its txns vector); at
+ * datapath rates that is hundreds of thousands of shared_ptr
+ * allocations per simulated millisecond. The pool recycles the Frame
+ * *object* — most importantly the txns vector's capacity — through a
+ * freelist.
+ *
+ * Lifetime: frames routinely outlive their LlcTx (deliveries already
+ * scheduled in the event queue when a channel is torn down), so the
+ * recycling deleter holds shared ownership of the freelist core; the
+ * last outstanding frame keeps it alive.
+ */
+class FramePool
+{
+  public:
+    FramePool() : _core(std::make_shared<Core>()) {}
+
+    /** A fresh (default-state) pooled frame. */
+    FramePtr
+    acquire()
+    {
+        Frame *f;
+        if (!_core->free.empty()) {
+            f = _core->free.back().release();
+            _core->free.pop_back();
+        } else {
+            f = new Frame();
+        }
+        return FramePtr(f, Recycler{_core});
+    }
+
+    std::size_t freeCount() const { return _core->free.size(); }
+
+  private:
+    /** Frames cached beyond this are genuinely freed. */
+    static constexpr std::size_t kMaxFree = 512;
+
+    struct Core
+    {
+        std::vector<std::unique_ptr<Frame>> free;
+    };
+
+    struct Recycler
+    {
+        std::shared_ptr<Core> core;
+
+        void
+        operator()(Frame *f) const noexcept
+        {
+            if (core->free.size() >= kMaxFree) {
+                delete f;
+                return;
+            }
+            // Reset to default state now so payload references are
+            // released immediately; clear() keeps txns' capacity,
+            // which is the allocation this pool exists to recycle.
+            f->seq = 0;
+            f->txns.clear();
+            f->usedFlits = 0;
+            f->padFlits = 0;
+            f->corrupted = false;
+            f->replayed = false;
+            core->free.emplace_back(f);
+        }
+    };
+
+    std::shared_ptr<Core> _core;
+};
+
+/**
  * In-band control info travelling opposite to a frame's direction.
  * Models both the piggybacked credit/ack fields of transaction headers
  * and the special single-flit replay-request frames.

@@ -170,7 +170,7 @@ LlcTx::scheduleKick(sim::Tick when)
 FramePtr
 LlcTx::assembleFrame()
 {
-    auto frame = std::make_shared<Frame>();
+    FramePtr frame = _framePool.acquire();
     frame->seq = _nextSeq++;
     std::uint32_t flits = 0;
     while (!_queue.empty()) {
@@ -198,7 +198,8 @@ LlcTx::transmit(const FramePtr &frame, bool replay)
         _replays.inc();
         // Retransmissions are fresh copies on the wire: clear the
         // corruption marker from an earlier damaged delivery.
-        auto copy = std::make_shared<Frame>(*frame);
+        FramePtr copy = _framePool.acquire();
+        *copy = *frame;
         copy->corrupted = false;
         copy->replayed = true;
         _wire.sendFrame(copy);
@@ -327,16 +328,37 @@ LlcTx::replayFrom(FrameSeq seq)
 void
 LlcTx::armTimer()
 {
-    disarmTimer();
-    _ackTimer = after(_params.ackTimeout, [this]() {
-        _ackTimer = sim::EventQueue::invalidEvent;
-        onAckTimeout();
-    });
+    // Lazy re-arm: the deadline only ever moves forward, so an
+    // already-scheduled timer event can stay where it is — when it
+    // fires early it re-schedules itself at the current deadline
+    // (onTimerFire). This turns the per-ack deschedule+schedule pair
+    // into a plain store; the kernel sees at most one timer event per
+    // ackTimeout window instead of one per ack.
+    _ackDeadline = now() + _params.ackTimeout;
+    if (_ackTimer == sim::EventQueue::invalidEvent)
+        _ackTimer = after(_params.ackTimeout, [this]() { onTimerFire(); });
+}
+
+void
+LlcTx::onTimerFire()
+{
+    _ackTimer = sim::EventQueue::invalidEvent;
+    if (_ackDeadline == 0)
+        return; // disarmed after this event was already in flight
+    if (now() < _ackDeadline) {
+        // Ack progress pushed the deadline out since this event was
+        // scheduled; chase it.
+        _ackTimer = after(_ackDeadline - now(), [this]() { onTimerFire(); });
+        return;
+    }
+    _ackDeadline = 0;
+    onAckTimeout();
 }
 
 void
 LlcTx::disarmTimer()
 {
+    _ackDeadline = 0;
     if (_ackTimer != sim::EventQueue::invalidEvent) {
         eventQueue().deschedule(_ackTimer);
         _ackTimer = sim::EventQueue::invalidEvent;

@@ -203,10 +203,18 @@ class LlcTx : public sim::SimObject
     Wire &_wire;
     std::deque<mem::TxnPtr> _queue;
     std::deque<FramePtr> _replayBuf; // oldest unacked first
+    FramePool _framePool;
     std::uint32_t _credits;
     FrameSeq _nextSeq = 0;
     bool _kickScheduled = false;
+
+    // Ack timer, lazy-deadline discipline: re-arming on ack progress
+    // just moves _ackDeadline forward instead of cancelling and
+    // re-scheduling a kernel event per ack. The scheduled event checks
+    // the deadline when it fires and pushes itself out if the deadline
+    // moved; only a full ack (or link-down) cancels it outright.
     sim::EventQueue::EventId _ackTimer = sim::EventQueue::invalidEvent;
+    sim::Tick _ackDeadline = 0;
 
     // Replay stalled on credit exhaustion; resumes on the next refund.
     bool _replayPending = false;
@@ -235,6 +243,7 @@ class LlcTx : public sim::SimObject
     void refundCredits(std::uint32_t n);
     void armTimer();
     void disarmTimer();
+    void onTimerFire();
     void onAckTimeout();
     void replayFrom(FrameSeq seq);
     void declareLinkDown();

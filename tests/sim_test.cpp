@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "sim/clock_domain.hh"
@@ -364,4 +367,191 @@ TEST(EventQueue, ManyEventsStaySorted)
     eq.run();
     EXPECT_TRUE(monotone);
     EXPECT_EQ(eq.executed(), 10000u);
+}
+
+// ---- dead-timer retention regression (the PR 3 kernel bugfix) ----
+
+TEST(EventQueue, DescheduleReleasesCapturedStateImmediately)
+{
+    EventQueue eq;
+    auto payload = std::make_shared<int>(7);
+    std::weak_ptr<int> weak = payload;
+    auto id =
+        eq.schedule(100, [p = std::move(payload)] { (void)*p; });
+    ASSERT_FALSE(weak.expired());
+    // The lazy pre-rewrite kernel kept the closure (and its captured
+    // shared_ptr) inside the heap until tick 100 was popped.
+    eq.deschedule(id);
+    EXPECT_TRUE(weak.expired());
+    eq.run();
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, CancelChurnKeepsHeapPhysicallyBounded)
+{
+    // The LlcTx ack-timer pattern: a long-dated timeout is cancelled
+    // and re-armed over and over. Dead entries must stay within the
+    // documented compaction bound instead of accumulating for a full
+    // timeout window.
+    EventQueue eq;
+    EventQueue::EventId timer = EventQueue::invalidEvent;
+    std::size_t worst = 0;
+    for (Tick t = 0; t < 100000; ++t) {
+        if (timer != EventQueue::invalidEvent)
+            eq.deschedule(timer);
+        timer = eq.schedule(t + 20000, [] {});
+        std::size_t bound =
+            2 * eq.pending() + EventQueue::kCompactMinDead;
+        worst = std::max(worst, eq.heapSize());
+        ASSERT_LE(eq.heapSize(), bound);
+    }
+    // One live timer; the physical heap must be nowhere near the
+    // 20000-entry window the old kernel retained.
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_LE(worst, 2u + 2 * EventQueue::kCompactMinDead);
+    EXPECT_GT(eq.compactions(), 0u);
+    EXPECT_EQ(eq.cancelled(), 99999u);
+}
+
+TEST(EventQueue, CallbacksRunExactlyOnceUnderReentrantScheduling)
+{
+    // Standalone regression for the owned-heap rewrite (the old
+    // kernel moved callbacks out of priority_queue::top() via
+    // const_cast): callbacks that schedule and deschedule reentrantly
+    // must each run exactly once.
+    EventQueue eq;
+    std::vector<int> runs(6, 0);
+    EventQueue::EventId self = EventQueue::invalidEvent;
+    EventQueue::EventId victim = EventQueue::invalidEvent;
+    self = eq.schedule(10, [&] {
+        ++runs[0];
+        eq.deschedule(self);   // own id already retired: no-op
+        eq.deschedule(victim); // same-tick later event: cancelled
+        // Same-tick insertion from within a callback still runs, once.
+        eq.schedule(10, [&] { ++runs[2]; });
+        eq.scheduleIn(5, [&] { ++runs[3]; });
+    });
+    victim = eq.schedule(10, [&] { ++runs[1]; });
+    eq.run();
+    EXPECT_EQ(runs[0], 1);
+    EXPECT_EQ(runs[1], 0);
+    EXPECT_EQ(runs[2], 1);
+    EXPECT_EQ(runs[3], 1);
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, StaleIdAfterSlotReuseIsNoOp)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto a = eq.schedule(10, [&] { ++fired; });
+    eq.run();
+    ASSERT_EQ(fired, 1);
+    // The fired event's slot is recycled under a new generation; the
+    // stale handle must not cancel the slot's new occupant.
+    auto b = eq.schedule(20, [&] { ++fired; });
+    eq.deschedule(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    // Double-deschedule of a cancelled id is also a no-op.
+    auto c = eq.schedule(30, [&] { ++fired; });
+    eq.deschedule(c);
+    eq.deschedule(c);
+    eq.deschedule(b); // already fired
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SameTickOrderDeterministicUnderCancellation)
+{
+    // Two identical seeded workloads with interleaved cancellations
+    // must execute the surviving events in the identical
+    // (tick, priority, schedule-order) sequence.
+    auto trace = [] {
+        EventQueue eq;
+        Rng rng(31);
+        std::vector<int> order;
+        std::vector<EventQueue::EventId> ids;
+        for (int i = 0; i < 2000; ++i) {
+            Tick when = rng.below(50); // dense: many same-tick ties
+            auto prio = rng.chance(0.3) ? EventPriority::ClockEdge
+                                        : EventPriority::Default;
+            ids.push_back(
+                eq.schedule(when, [&order, i] { order.push_back(i); },
+                            prio));
+        }
+        for (int i = 0; i < 2000; ++i)
+            if (rng.chance(0.4))
+                eq.deschedule(ids[i]);
+        eq.run();
+        return order;
+    };
+    auto a = trace();
+    auto b = trace();
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(EventQueue, AttachStatsExportsKernelCounters)
+{
+    EventQueue eq;
+    StatSet set("sim.eq");
+    eq.attachStats(set);
+    auto id = eq.schedule(5, [] {});
+    eq.deschedule(id);
+    eq.schedule(7, [] {});
+    eq.run();
+    double executed = -1, cancelled = -1, highWater = -1;
+    for (const auto &row : set.snapshot()) {
+        if (row.name == "executed")
+            executed = row.value;
+        else if (row.name == "cancelled")
+            cancelled = row.value;
+        else if (row.name == "heapHighWater")
+            highWater = row.value;
+    }
+    EXPECT_EQ(executed, 1.0);
+    EXPECT_EQ(cancelled, 1.0);
+    EXPECT_EQ(highWater, 2.0);
+}
+
+// ---- SmallFn (the kernel's small-buffer callback type) ----
+
+TEST(EventCallback, InlineCaptureAvoidsNullAndInvokes)
+{
+    int hits = 0;
+    EventCallback cb([&hits] { ++hits; });
+    EXPECT_TRUE(static_cast<bool>(cb));
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+    cb.reset();
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(EventCallback, MoveTransfersOwnershipAndReleasesCaptures)
+{
+    auto payload = std::make_shared<int>(1);
+    std::weak_ptr<int> weak = payload;
+    EventCallback a([p = std::move(payload)] { (void)p; });
+    EventCallback b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_FALSE(weak.expired());
+    b = nullptr;
+    EXPECT_TRUE(weak.expired());
+}
+
+TEST(EventCallback, OversizedCaptureFallsBackToHeapAndStillWorks)
+{
+    // > 64 bytes of capture takes the heap path; semantics identical.
+    std::array<std::uint64_t, 16> big{};
+    big[0] = 3;
+    big[15] = 4;
+    std::uint64_t sum = 0;
+    EventCallback cb([big, &sum] { sum = big[0] + big[15]; });
+    EventCallback moved(std::move(cb));
+    moved();
+    EXPECT_EQ(sum, 7u);
 }
