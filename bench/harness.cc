@@ -1,12 +1,15 @@
 #include "harness.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "sim/json.hh"
+#include "sim/logging.hh"
 
 #ifndef TF_GIT_SHA
 #define TF_GIT_SHA "unknown"
@@ -56,6 +59,70 @@ ScenarioContext::addRun(const sim::EventQueue &eq)
 {
     _simTicks += eq.now();
     _events += eq.executed();
+}
+
+void
+ScenarioContext::commit(ScenarioContext &&point)
+{
+    for (auto &m : point._metrics)
+        _metrics.push_back(std::move(m));
+    _simTicks += point._simTicks;
+    _events += point._events;
+    _registry.adopt(std::move(point._registry));
+}
+
+void
+ScenarioContext::runPoints(
+    std::size_t count,
+    const std::function<void(ScenarioContext &, std::size_t)> &fn)
+{
+    auto makePoint = [this] {
+        auto sub = std::make_unique<ScenarioContext>(_scenario, _seed,
+                                                     _smoke);
+        sub->setOutDir(_outDir);
+        return sub;
+    };
+
+    unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(_jobs, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            auto sub = makePoint();
+            fn(*sub, i);
+            commit(std::move(*sub));
+        }
+        return;
+    }
+
+    // Points are embarrassingly parallel: every one builds its own
+    // beds against its own queue and registry. Workers pull indices
+    // from a shared counter; the main thread commits finished points
+    // strictly in index order, so the merged document cannot depend
+    // on which thread ran what.
+    std::vector<std::unique_ptr<ScenarioContext>> done(count);
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            while (true) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    return;
+                auto sub = makePoint();
+                fn(*sub, i);
+                done[i] = std::move(sub);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    for (std::size_t i = 0; i < count; ++i) {
+        TF_ASSERT(done[i] != nullptr, "point %zu produced no result",
+                  i);
+        commit(std::move(*done[i]));
+    }
 }
 
 std::string
@@ -136,13 +203,19 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--list] [--smoke] [--scenario NAME]...\n"
-                 "          [--seed N] [--out DIR]\n"
+                 "          [--seed N] [--out DIR] [--jobs N]\n"
+                 "          [--no-wall]\n"
                  "  --list           list scenarios and exit\n"
                  "  --smoke          CI-sized runs, smoke subset only\n"
                  "  --scenario NAME  run NAME (repeatable); default:\n"
                  "                   every scenario (or smoke subset)\n"
                  "  --seed N         simulation seed (default 42)\n"
-                 "  --out DIR        directory for BENCH_<name>.json\n",
+                 "  --out DIR        directory for BENCH_<name>.json\n"
+                 "  --jobs N         worker threads (default 1); the\n"
+                 "                   result document is identical for\n"
+                 "                   any N under the same seed\n"
+                 "  --no-wall        omit wall-clock meta so same-seed\n"
+                 "                   runs are byte-identical\n",
                  argv0);
     return 2;
 }
@@ -151,6 +224,8 @@ struct Options
 {
     bool list = false;
     bool smoke = false;
+    bool noWall = false;
+    unsigned jobs = 1;
     std::uint64_t seed = 42;
     std::string outDir = ".";
     std::vector<std::string> names;
@@ -180,6 +255,8 @@ runScenarios(const Options &opt)
 
     for (const Scenario *s : selected) {
         ScenarioContext ctx(s->name, opt.seed, opt.smoke);
+        ctx.setJobs(opt.jobs);
+        ctx.setOutDir(opt.outDir);
         auto start = std::chrono::steady_clock::now();
         s->run(ctx);
         double wallMs =
@@ -195,7 +272,7 @@ runScenarios(const Options &opt)
                          path.c_str());
             return 1;
         }
-        out << ctx.toJson(wallMs) << "\n";
+        out << ctx.toJson(opt.noWall ? -1 : wallMs) << "\n";
         ctx.printSummary(stdout);
         std::printf("  -> %s (%.0f ms)\n", path.c_str(), wallMs);
     }
@@ -226,6 +303,13 @@ parseAndRun(int argc, char **argv,
             opt.seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--out" && i + 1 < argc) {
             opt.outDir = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+            if (opt.jobs == 0)
+                opt.jobs = 1;
+        } else if (arg == "--no-wall") {
+            opt.noWall = true;
         } else {
             return usage(argv[0]);
         }

@@ -16,6 +16,7 @@
 #define TF_BENCH_HARNESS_HH
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,6 +81,14 @@ class ScenarioContext
     /** True = CI-sized run (short ticks); false = full figure. */
     bool smoke() const { return _smoke; }
 
+    /** Worker-thread budget (--jobs); 1 = fully serial. */
+    unsigned jobs() const { return _jobs; }
+    void setJobs(unsigned jobs) { _jobs = jobs ? jobs : 1; }
+
+    /** Directory scenario output files belong under (--out). */
+    const std::string &outDir() const { return _outDir; }
+    void setOutDir(std::string dir) { _outDir = std::move(dir); }
+
     /** The shared stats registry scenarios register beds into. */
     sim::StatsRegistry &registry() { return _registry; }
 
@@ -93,6 +102,22 @@ class ScenarioContext
 
     /** Fold a drained event queue into the simTicks/events meta. */
     void addRun(const sim::EventQueue &eq);
+
+    /**
+     * Run @p count independent data points, possibly concurrently on
+     * jobs() threads. Each point gets a private sub-context (same
+     * scenario/seed/smoke, jobs = 1); @p fn must confine itself to
+     * that sub-context and its own beds, and freeze any registered
+     * stats before its components die — exactly the discipline the
+     * serial scenarios already follow. Results are committed in
+     * point-index order (metrics append, registries merge under
+     * their sorted paths), so the output document is byte-identical
+     * to a --jobs 1 run regardless of thread count or schedule.
+     */
+    void runPoints(
+        std::size_t count,
+        const std::function<void(ScenarioContext &, std::size_t)>
+            &fn);
 
     /**
      * Serialise the full result document. @p wallMs < 0 omits the
@@ -112,9 +137,13 @@ class ScenarioContext
         std::string unit;
     };
 
+    void commit(ScenarioContext &&point);
+
     std::string _scenario;
     std::uint64_t _seed;
     bool _smoke;
+    unsigned _jobs = 1;
+    std::string _outDir = ".";
     sim::StatsRegistry _registry;
     std::vector<Metric> _metrics;
     std::uint64_t _simTicks = 0;

@@ -15,11 +15,16 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <thread>
 
 #include "apps/elastic.hh"
 #include "apps/memcached.hh"
 #include "apps/stream.hh"
 #include "apps/voltdb.hh"
+#include "dc/trace.hh"
+#include "sim/logging.hh"
+#include "sim/parallel/engine.hh"
+#include "system/rack.hh"
 #include "tflow/datapath.hh"
 
 namespace tf::bench {
@@ -167,96 +172,117 @@ pumpReads(Rig &rig, mem::Addr base, int total)
     rig.eq.run();
 }
 
+/** Unloaded flit RTT: zero-latency memory isolates the datapath. */
+void
+protoRttPoint(ScenarioContext &sub)
+{
+    mem::DramParams dparams;
+    dparams.accessLatency = 0;
+    dparams.bandwidthBps = 1e15;
+    Rig rig(sub.seed(), flow::FlowParams{}, dparams);
+    rig.dp->registerStats(sub.registry(), "proto.rtt");
+    rig.eq.attachStats(sub.registry().at("proto.rtt.eq"));
+    auto txn = mem::makeTxn(mem::TxnType::ReadReq, kWindowBase + 0x100);
+    rig.dp->issue(txn);
+    rig.eq.run();
+    sub.metric("rttNs", rig.dp->compute().rttNs().mean(), "ns");
+    sub.addRun(rig.eq);
+    sub.registry().freezeAll();
+}
+
+/**
+ * Loaded bandwidth through one flow. The warmup fills the credit and
+ * tag pipelines; resetAll() then clears the registered stats so the
+ * exported counters describe the measured phase only.
+ */
+void
+protoBandwidthPoint(ScenarioContext &sub, const std::string &prefix,
+                    mem::Addr base, bool quantiles, int warmup,
+                    int total)
+{
+    Rig rig(sub.seed());
+    rig.dp->registerStats(sub.registry(), prefix);
+    rig.eq.attachStats(sub.registry().at(prefix + ".eq"));
+    pumpReads(rig, base, warmup);
+    sub.registry().resetAll(prefix);
+    sim::Tick start = rig.eq.now();
+    pumpReads(rig, base, total);
+    double gib = static_cast<double>(total) * 128 /
+                 (1024.0 * 1024 * 1024) /
+                 sim::toSec(rig.eq.now() - start);
+    if (quantiles) {
+        sub.metric("singleGiBs", gib, "GiB/s");
+        const sim::SampleStat &rtt = rig.dp->compute().rttNs();
+        sub.metric("rttP50Ns", rtt.quantile(0.50), "ns");
+        sub.metric("rttP95Ns", rtt.quantile(0.95), "ns");
+        sub.metric("rttP99Ns", rtt.quantile(0.99), "ns");
+    } else {
+        sub.metric("bondedGiBs", gib, "GiB/s");
+    }
+    sub.addRun(rig.eq);
+    sub.registry().freezeAll();
+}
+
+/** OpenCAPI C1 ceiling at a given transaction size. */
+void
+protoC1Point(ScenarioContext &sub, std::uint32_t bytes, int total)
+{
+    sim::EventQueue eq;
+    mem::BackingStore store;
+    mem::Dram dram("dram", eq, mem::DramParams{}, &store);
+    ocapi::PasidRegistry pasids;
+    ocapi::C1Master c1("c1", eq, ocapi::C1Params{}, pasids, dram);
+    c1.attachStats(
+        sub.registry().at("proto.c1b" + std::to_string(bytes)));
+    ocapi::Pasid pasid = pasids.allocate();
+    pasids.registerRegion(pasid, 0, 1ULL << 30);
+    int done = 0;
+    for (int i = 0; i < total; ++i) {
+        auto txn = mem::makeTxn(
+            mem::TxnType::WriteReq,
+            (static_cast<mem::Addr>(i) * bytes) % (1ULL << 30),
+            bytes);
+        txn->data.assign(bytes, 0);
+        c1.master(pasid, txn, [&done](mem::TxnPtr) { ++done; });
+    }
+    eq.run();
+    double gib = static_cast<double>(total) * bytes /
+                 (1024.0 * 1024 * 1024) / sim::toSec(eq.now());
+    sub.metric("c1GiBs" + std::to_string(bytes), gib, "GiB/s");
+    sub.addRun(eq);
+    sub.registry().freezeAll();
+}
+
 void
 runProtoDatapath(ScenarioContext &ctx)
 {
     const int total = ctx.smoke() ? 8000 : 40000;
     const int warmup = 2000;
 
-    // Unloaded flit RTT: zero-latency memory isolates the datapath.
-    {
-        mem::DramParams dparams;
-        dparams.accessLatency = 0;
-        dparams.bandwidthBps = 1e15;
-        Rig rig(ctx.seed(), flow::FlowParams{}, dparams);
-        rig.dp->registerStats(ctx.registry(), "proto.rtt");
-        rig.eq.attachStats(ctx.registry().at("proto.rtt.eq"));
-        auto txn =
-            mem::makeTxn(mem::TxnType::ReadReq, kWindowBase + 0x100);
-        rig.dp->issue(txn);
-        rig.eq.run();
-        ctx.metric("rttNs", rig.dp->compute().rttNs().mean(), "ns");
-        ctx.addRun(rig.eq);
-        ctx.registry().freezeAll();
-    }
-
-    // Loaded single-channel bandwidth. The warmup fills the credit
-    // and tag pipelines; resetAll() then clears the registered stats
-    // so the exported counters describe the measured phase only.
-    {
-        Rig rig(ctx.seed());
-        rig.dp->registerStats(ctx.registry(), "proto.single");
-        rig.eq.attachStats(ctx.registry().at("proto.single.eq"));
-        pumpReads(rig, kWindowBase, warmup);
-        ctx.registry().resetAll("proto.single");
-        sim::Tick start = rig.eq.now();
-        pumpReads(rig, kWindowBase, total);
-        double gib = static_cast<double>(total) * 128 /
-                     (1024.0 * 1024 * 1024) /
-                     sim::toSec(rig.eq.now() - start);
-        ctx.metric("singleGiBs", gib, "GiB/s");
-        const sim::SampleStat &rtt = rig.dp->compute().rttNs();
-        ctx.metric("rttP50Ns", rtt.quantile(0.50), "ns");
-        ctx.metric("rttP95Ns", rtt.quantile(0.95), "ns");
-        ctx.metric("rttP99Ns", rtt.quantile(0.99), "ns");
-        ctx.addRun(rig.eq);
-        ctx.registry().freezeAll();
-    }
-
-    // Loaded bonded bandwidth (flow 2 spans both channels).
-    {
-        Rig rig(ctx.seed());
-        rig.dp->registerStats(ctx.registry(), "proto.bonded");
-        rig.eq.attachStats(ctx.registry().at("proto.bonded.eq"));
-        pumpReads(rig, kWindowBase + kSection, warmup);
-        ctx.registry().resetAll("proto.bonded");
-        sim::Tick start = rig.eq.now();
-        pumpReads(rig, kWindowBase + kSection, total);
-        double gib = static_cast<double>(total) * 128 /
-                     (1024.0 * 1024 * 1024) /
-                     sim::toSec(rig.eq.now() - start);
-        ctx.metric("bondedGiBs", gib, "GiB/s");
-        ctx.addRun(rig.eq);
-        ctx.registry().freezeAll();
-    }
-
-    // OpenCAPI C1 ceiling with 128 B vs 256 B transactions.
-    for (std::uint32_t bytes : {128u, 256u}) {
-        sim::EventQueue eq;
-        mem::BackingStore store;
-        mem::Dram dram("dram", eq, mem::DramParams{}, &store);
-        ocapi::PasidRegistry pasids;
-        ocapi::C1Master c1("c1", eq, ocapi::C1Params{}, pasids, dram);
-        c1.attachStats(
-            ctx.registry().at("proto.c1b" + std::to_string(bytes)));
-        ocapi::Pasid pasid = pasids.allocate();
-        pasids.registerRegion(pasid, 0, 1ULL << 30);
-        int done = 0;
-        for (int i = 0; i < total; ++i) {
-            auto txn = mem::makeTxn(
-                mem::TxnType::WriteReq,
-                (static_cast<mem::Addr>(i) * bytes) % (1ULL << 30),
-                bytes);
-            txn->data.assign(bytes, 0);
-            c1.master(pasid, txn, [&done](mem::TxnPtr) { ++done; });
+    // Five independent rigs = five data points for --jobs.
+    ctx.runPoints(5, [&](ScenarioContext &sub, std::size_t i) {
+        switch (i) {
+          case 0:
+            protoRttPoint(sub);
+            break;
+          case 1:
+            protoBandwidthPoint(sub, "proto.single", kWindowBase,
+                                true, warmup, total);
+            break;
+          case 2:
+            // Bonded bandwidth (flow 2 spans both channels).
+            protoBandwidthPoint(sub, "proto.bonded",
+                                kWindowBase + kSection, false, warmup,
+                                total);
+            break;
+          case 3:
+            protoC1Point(sub, 128, total);
+            break;
+          case 4:
+            protoC1Point(sub, 256, total);
+            break;
         }
-        eq.run();
-        double gib = static_cast<double>(total) * bytes /
-                     (1024.0 * 1024 * 1024) / sim::toSec(eq.now());
-        ctx.metric("c1GiBs" + std::to_string(bytes), gib, "GiB/s");
-        ctx.addRun(eq);
-        ctx.registry().freezeAll();
-    }
+    });
 }
 
 // -------------------------- fig05_stream ---------------------------
@@ -278,43 +304,55 @@ runFig05Stream(ScenarioContext &ctx)
     const std::uint64_t elements =
         ctx.smoke() ? 256 * 1024 : 1024 * 1024;
 
-    for (auto setup : streamSetups) {
-        const char *name = sys::setupName(setup);
-        for (int threads : threadCounts) {
-            for (auto kernel : kernels) {
-                // Small cache (4 MiB) vs the streaming arrays:
-                // streaming defeats the cache as in the real setup.
-                auto bed =
-                    makeBed(setup, 256ULL * 1024 * 1024,
-                            4ULL * 1024 * 1024, ctx.seed());
-                std::string point =
-                    std::string(apps::streamKernelName(kernel)) +
-                    std::to_string(threads) + "t." + name;
-                bed.testbed->registerStats(ctx.registry(), point);
-                apps::StreamParams sp;
-                sp.elements = elements;
-                sp.threads = threads;
-                sp.iterations = 1;
-                apps::StreamBenchmark bench(*bed.testbed, sp);
-                auto r = bench.run(kernel);
-                ctx.metric(point, r.bestGiBs, "GiB/s");
-                if (kernel == kernels.front() &&
-                    threads == threadCounts.front()) {
-                    const sim::SampleStat &rtt =
-                        bed.testbed->datapath()->compute().rttNs();
-                    std::string lat = std::string("rtt.") + name;
-                    ctx.metric(lat + ".p50Us",
-                               rtt.quantile(0.50) / 1000, "us");
-                    ctx.metric(lat + ".p95Us",
-                               rtt.quantile(0.95) / 1000, "us");
-                    ctx.metric(lat + ".p99Us",
-                               rtt.quantile(0.99) / 1000, "us");
-                }
-                ctx.addRun(*bed.eq);
-                ctx.registry().freezeAll();
+    struct Point
+    {
+        sys::Setup setup;
+        int threads;
+        apps::StreamKernel kernel;
+        bool latencyPoint;
+    };
+    std::vector<Point> points;
+    for (auto setup : streamSetups)
+        for (int threads : threadCounts)
+            for (auto kernel : kernels)
+                points.push_back(
+                    Point{setup, threads, kernel,
+                          kernel == kernels.front() &&
+                              threads == threadCounts.front()});
+
+    ctx.runPoints(
+        points.size(), [&](ScenarioContext &sub, std::size_t i) {
+            const Point &pt = points[i];
+            const char *name = sys::setupName(pt.setup);
+            // Small cache (4 MiB) vs the streaming arrays: streaming
+            // defeats the cache as in the real setup.
+            auto bed = makeBed(pt.setup, 256ULL * 1024 * 1024,
+                               4ULL * 1024 * 1024, sub.seed());
+            std::string point =
+                std::string(apps::streamKernelName(pt.kernel)) +
+                std::to_string(pt.threads) + "t." + name;
+            bed.testbed->registerStats(sub.registry(), point);
+            apps::StreamParams sp;
+            sp.elements = elements;
+            sp.threads = pt.threads;
+            sp.iterations = 1;
+            apps::StreamBenchmark bench(*bed.testbed, sp);
+            auto r = bench.run(pt.kernel);
+            sub.metric(point, r.bestGiBs, "GiB/s");
+            if (pt.latencyPoint) {
+                const sim::SampleStat &rtt =
+                    bed.testbed->datapath()->compute().rttNs();
+                std::string lat = std::string("rtt.") + name;
+                sub.metric(lat + ".p50Us", rtt.quantile(0.50) / 1000,
+                           "us");
+                sub.metric(lat + ".p95Us", rtt.quantile(0.95) / 1000,
+                           "us");
+                sub.metric(lat + ".p99Us", rtt.quantile(0.99) / 1000,
+                           "us");
             }
-        }
-    }
+            sub.addRun(*bed.eq);
+            sub.registry().freezeAll();
+        });
 }
 
 // ------------------------- fig07_ycsb ------------------------------
@@ -324,34 +362,47 @@ runFig07Ycsb(ScenarioContext &ctx)
 {
     const std::vector<int> partitionCounts =
         ctx.smoke() ? std::vector<int>{4} : std::vector<int>{4, 32};
-    for (auto wl : {apps::YcsbWorkload::A, apps::YcsbWorkload::E}) {
-        for (int partitions : partitionCounts) {
-            for (auto setup : allSetups) {
-                auto bed = makeBed(setup, 512ULL * 1024 * 1024,
-                                   64ULL * 1024 * 1024, ctx.seed());
-                std::string point =
-                    std::string(apps::ycsbName(wl)) + "." +
-                    std::to_string(partitions) + "p." +
-                    sys::setupName(setup);
-                bed.testbed->registerStats(ctx.registry(), point);
-                apps::VoltDbParams vp;
-                vp.workload = wl;
-                vp.partitions = partitions;
-                std::uint64_t ops =
-                    wl == apps::YcsbWorkload::E ? 6000 : 25000;
-                vp.totalOps = ctx.smoke() ? ops / 5 : ops;
-                apps::VoltDbBenchmark bench(*bed.testbed, vp);
-                auto r = bench.run();
-                ctx.metric(point + ".ops", r.throughputOps,
-                           "ops/s");
-                if (wl == apps::YcsbWorkload::A &&
-                    partitions == partitionCounts.front())
-                    ctx.latencyUs(point + ".", r.latencyUs);
-                ctx.addRun(*bed.eq);
-                ctx.registry().freezeAll();
-            }
-        }
-    }
+
+    struct Point
+    {
+        apps::YcsbWorkload workload;
+        int partitions;
+        sys::Setup setup;
+        bool latencyPoint;
+    };
+    std::vector<Point> points;
+    for (auto wl : {apps::YcsbWorkload::A, apps::YcsbWorkload::E})
+        for (int partitions : partitionCounts)
+            for (auto setup : allSetups)
+                points.push_back(
+                    Point{wl, partitions, setup,
+                          wl == apps::YcsbWorkload::A &&
+                              partitions == partitionCounts.front()});
+
+    ctx.runPoints(
+        points.size(), [&](ScenarioContext &sub, std::size_t i) {
+            const Point &pt = points[i];
+            auto bed = makeBed(pt.setup, 512ULL * 1024 * 1024,
+                               64ULL * 1024 * 1024, sub.seed());
+            std::string point =
+                std::string(apps::ycsbName(pt.workload)) + "." +
+                std::to_string(pt.partitions) + "p." +
+                sys::setupName(pt.setup);
+            bed.testbed->registerStats(sub.registry(), point);
+            apps::VoltDbParams vp;
+            vp.workload = pt.workload;
+            vp.partitions = pt.partitions;
+            std::uint64_t ops =
+                pt.workload == apps::YcsbWorkload::E ? 6000 : 25000;
+            vp.totalOps = sub.smoke() ? ops / 5 : ops;
+            apps::VoltDbBenchmark bench(*bed.testbed, vp);
+            auto r = bench.run();
+            sub.metric(point + ".ops", r.throughputOps, "ops/s");
+            if (pt.latencyPoint)
+                sub.latencyUs(point + ".", r.latencyUs);
+            sub.addRun(*bed.eq);
+            sub.registry().freezeAll();
+        });
 }
 
 // ------------------------ fig08_memcached --------------------------
@@ -359,38 +410,41 @@ runFig07Ycsb(ScenarioContext &ctx)
 void
 runFig08Memcached(ScenarioContext &ctx)
 {
-    for (auto setup : allSetups) {
-        const char *name = sys::setupName(setup);
-        auto bed = makeBed(setup, 512ULL * 1024 * 1024,
-                           8ULL * 1024 * 1024, ctx.seed());
-        bed.testbed->registerStats(ctx.registry(), name);
-        apps::MemcachedParams mp;
-        if (ctx.smoke()) {
-            mp.cacheItems = 24000;
-            mp.keySpaceItems = 36000;
-            mp.requestsPerThread = 300;
-        } else {
-            mp.cacheItems = 120000;
-            mp.keySpaceItems = 180000; // keeps the 10:15 GiB ratio
-            mp.requestsPerThread = 1500;
-        }
-        apps::MemcachedBenchmark bench(*bed.testbed, mp);
-        auto r = bench.run();
-        ctx.metric(std::string("ops.") + name, r.throughputOps,
-                   "ops/s");
-        ctx.metric(std::string("hit.") + name, r.hitRatio);
-        ctx.latencyUs(std::string("get.") + name + ".",
-                      r.getLatencyUs);
-        if (!ctx.smoke()) {
-            // The figure is a CDF: emit the full series per config.
-            std::ofstream cdf(std::string("fig08_cdf_") + name +
-                              ".dat");
-            cdf << "# GET latency (us)  cumulative fraction\n";
-            r.getLatencyUs.writeCdf(cdf, 200);
-        }
-        ctx.addRun(*bed.eq);
-        ctx.registry().freezeAll();
-    }
+    ctx.runPoints(
+        allSetups.size(), [&](ScenarioContext &sub, std::size_t i) {
+            sys::Setup setup = allSetups[i];
+            const char *name = sys::setupName(setup);
+            auto bed = makeBed(setup, 512ULL * 1024 * 1024,
+                               8ULL * 1024 * 1024, sub.seed());
+            bed.testbed->registerStats(sub.registry(), name);
+            apps::MemcachedParams mp;
+            if (sub.smoke()) {
+                mp.cacheItems = 24000;
+                mp.keySpaceItems = 36000;
+                mp.requestsPerThread = 300;
+            } else {
+                mp.cacheItems = 120000;
+                mp.keySpaceItems = 180000; // keeps 10:15 GiB ratio
+                mp.requestsPerThread = 1500;
+            }
+            apps::MemcachedBenchmark bench(*bed.testbed, mp);
+            auto r = bench.run();
+            sub.metric(std::string("ops.") + name, r.throughputOps,
+                       "ops/s");
+            sub.metric(std::string("hit.") + name, r.hitRatio);
+            sub.latencyUs(std::string("get.") + name + ".",
+                          r.getLatencyUs);
+            if (!sub.smoke()) {
+                // The figure is a CDF: emit the full series per
+                // config, under --out (never the source tree).
+                std::ofstream cdf(sub.outDir() + "/fig08_cdf_" +
+                                  name + ".dat");
+                cdf << "# GET latency (us)  cumulative fraction\n";
+                r.getLatencyUs.writeCdf(cdf, 200);
+            }
+            sub.addRun(*bed.eq);
+            sub.registry().freezeAll();
+        });
 }
 
 // ------------------------- fig09_elastic ---------------------------
@@ -412,35 +466,152 @@ runFig09Elastic(ScenarioContext &ctx)
     const std::vector<int> shardCounts =
         ctx.smoke() ? std::vector<int>{5} : std::vector<int>{5, 32};
 
-    for (const auto &pt : points) {
-        for (int shards : shardCounts) {
-            for (auto setup : allSetups) {
-                auto bed = makeBed(setup, 768ULL * 1024 * 1024,
-                                   64ULL * 1024 * 1024, ctx.seed());
-                std::string point =
-                    std::string(apps::esChallengeName(pt.challenge)) +
-                    "." + std::to_string(shards) + "s." +
-                    sys::setupName(setup);
-                bed.testbed->registerStats(ctx.registry(), point);
-                apps::ElasticParams ep;
-                ep.challenge = pt.challenge;
-                ep.shards = shards;
-                ep.totalOps =
-                    ctx.smoke() ? std::max<std::uint64_t>(
-                                      pt.ops / 5, 10)
-                                : pt.ops;
-                apps::ElasticBenchmark bench(*bed.testbed, ep);
-                auto r = bench.run();
-                ctx.metric(point + ".ops", r.throughputOps,
-                           "ops/s");
-                if (pt.challenge == apps::EsChallenge::RTQ &&
-                    shards == shardCounts.front())
-                    ctx.latencyUs(point + ".", r.latencyUs);
-                ctx.addRun(*bed.eq);
-                ctx.registry().freezeAll();
-            }
+    struct Cell
+    {
+        Point point;
+        int shards;
+        sys::Setup setup;
+    };
+    std::vector<Cell> cells;
+    for (const auto &pt : points)
+        for (int shards : shardCounts)
+            for (auto setup : allSetups)
+                cells.push_back(Cell{pt, shards, setup});
+
+    ctx.runPoints(
+        cells.size(), [&](ScenarioContext &sub, std::size_t i) {
+            const Cell &cell = cells[i];
+            auto bed = makeBed(cell.setup, 768ULL * 1024 * 1024,
+                               64ULL * 1024 * 1024, sub.seed());
+            std::string point =
+                std::string(
+                    apps::esChallengeName(cell.point.challenge)) +
+                "." + std::to_string(cell.shards) + "s." +
+                sys::setupName(cell.setup);
+            bed.testbed->registerStats(sub.registry(), point);
+            apps::ElasticParams ep;
+            ep.challenge = cell.point.challenge;
+            ep.shards = cell.shards;
+            ep.totalOps =
+                sub.smoke()
+                    ? std::max<std::uint64_t>(cell.point.ops / 5, 10)
+                    : cell.point.ops;
+            apps::ElasticBenchmark bench(*bed.testbed, ep);
+            auto r = bench.run();
+            sub.metric(point + ".ops", r.throughputOps, "ops/s");
+            if (cell.point.challenge == apps::EsChallenge::RTQ &&
+                cell.shards == shardCounts.front())
+                sub.latencyUs(point + ".", r.latencyUs);
+            sub.addRun(*bed.eq);
+            sub.registry().freezeAll();
+        });
+}
+
+// ------------------------- parallel_scale --------------------------
+
+/**
+ * Parallel-engine scaling: an 8-rack cluster replaying a sharded
+ * ClusterData-like trace, once on 1 worker and once on N. The two
+ * legs must agree on every deterministic counter (the engine's core
+ * guarantee — TF_ASSERT-enforced here on every run, not just in the
+ * unit tests); events/s and speedup are the wall-clock payoff.
+ */
+void
+runParallelScale(ScenarioContext &ctx)
+{
+    dc::TraceParams tp;
+    tp.jobs = ctx.smoke() ? 2000 : 12000;
+    tp.meanInterarrival = sim::microseconds(25);
+    dc::TraceGenerator gen(tp, ctx.seed());
+
+    sys::RackParams rp;
+    rp.racks = 8;
+    const auto shards = dc::shardTrace(gen.generate(), rp.racks);
+
+    struct Leg
+    {
+        std::uint64_t events;
+        std::uint64_t windows;
+        std::uint64_t merged;
+        std::uint64_t ops;
+        std::uint64_t cross;
+        double secs;
+    };
+    auto runLeg = [&](unsigned jobs, bool record) {
+        sim::par::ParallelEngine engine(jobs);
+        sys::RackCluster cluster("rack", engine, shards, rp,
+                                 ctx.seed());
+        auto start = std::chrono::steady_clock::now();
+        engine.run();
+        Leg leg;
+        leg.secs = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+        leg.events = engine.executed();
+        leg.windows = engine.windows();
+        leg.merged = engine.merged();
+        leg.ops = cluster.opsCompleted();
+        leg.cross = cluster.crossRackOps();
+        if (record) {
+            cluster.registerStats(ctx.registry(), "sys");
+            engine.attachStats(ctx.registry(), "sim.par",
+                               /*wallClock=*/true);
+            ctx.registry().freezeAll();
+            for (std::size_t i = 0; i < engine.lpCount(); ++i)
+                ctx.addRun(engine.lp(i).queue());
         }
-    }
+        return leg;
+    };
+
+    // Default to 4 workers (the CI runner size) when the driver did
+    // not ask for parallelism explicitly; never fewer than 2, so the
+    // threaded path is always exercised.
+    unsigned parJobs =
+        ctx.jobs() > 1
+            ? ctx.jobs()
+            : std::max(2u, std::min(4u,
+                           std::thread::hardware_concurrency()));
+
+    Leg serial = runLeg(1, /*record=*/false);
+    Leg parallel = runLeg(parJobs, /*record=*/true);
+
+    TF_ASSERT(serial.events == parallel.events &&
+                  serial.windows == parallel.windows &&
+                  serial.merged == parallel.merged &&
+                  serial.ops == parallel.ops &&
+                  serial.cross == parallel.cross,
+              "parallel run diverged from serial: events %llu/%llu "
+              "windows %llu/%llu ops %llu/%llu",
+              static_cast<unsigned long long>(serial.events),
+              static_cast<unsigned long long>(parallel.events),
+              static_cast<unsigned long long>(serial.windows),
+              static_cast<unsigned long long>(parallel.windows),
+              static_cast<unsigned long long>(serial.ops),
+              static_cast<unsigned long long>(parallel.ops));
+
+    // Deterministic outputs first: identical for any seed-matched
+    // run, whatever the thread count or machine.
+    ctx.metric("opsCompleted",
+               static_cast<double>(parallel.ops), "ops");
+    ctx.metric("crossRackOps",
+               static_cast<double>(parallel.cross), "ops");
+    ctx.metric("eventsTotal",
+               static_cast<double>(parallel.events), "events");
+    ctx.metric("windows",
+               static_cast<double>(parallel.windows), "windows");
+    ctx.metric("mergedMsgs",
+               static_cast<double>(parallel.merged), "msgs");
+
+    // Wall-clock outputs: machine-dependent, excluded from the
+    // determinism cross-check (which runs other scenarios anyway).
+    ctx.metric("jobsParallel", static_cast<double>(parJobs));
+    ctx.metric("eventsPerSecSerial",
+               static_cast<double>(serial.events) / serial.secs,
+               "events/s");
+    ctx.metric("eventsPerSecParallel",
+               static_cast<double>(parallel.events) / parallel.secs,
+               "events/s");
+    ctx.metric("speedup", serial.secs / parallel.secs);
 }
 
 } // namespace
@@ -469,6 +640,10 @@ scenarios()
         {"fig09_elastic",
          "Fig. 9: Elasticsearch 'nested' track throughput",
          false, runFig09Elastic},
+        {"parallel_scale",
+         "Parallel engine: 8-rack trace replay, serial vs threaded "
+         "(identical results, events/s speedup)",
+         true, runParallelScale},
     };
     return table;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/logging.hh"
+
 namespace tf::dc {
 
 TraceGenerator::TraceGenerator(TraceParams params, std::uint64_t seed)
@@ -50,6 +52,18 @@ TraceGenerator::generate()
         jobs.push_back(job);
     }
     return jobs;
+}
+
+std::vector<std::vector<Job>>
+shardTrace(const std::vector<Job> &trace, std::size_t shards)
+{
+    TF_ASSERT(shards > 0, "cannot shard a trace into zero shards");
+    std::vector<std::vector<Job>> out(shards);
+    for (auto &shard : out)
+        shard.reserve(trace.size() / shards + 1);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        out[i % shards].push_back(trace[i]);
+    return out;
 }
 
 } // namespace tf::dc

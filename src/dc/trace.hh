@@ -81,6 +81,16 @@ class TraceGenerator
     sim::Rng _rng;
 };
 
+/**
+ * Deal a trace across @p shards round-robin by index: job i goes to
+ * shard i % shards, so every shard sees the same arrival-rate and
+ * demand mix and per-shard arrival order is preserved. Used to drive
+ * one rack partition per shard in parallel rack-scale runs — the
+ * split depends only on the trace, never on thread scheduling.
+ */
+std::vector<std::vector<Job>> shardTrace(const std::vector<Job> &trace,
+                                         std::size_t shards);
+
 } // namespace tf::dc
 
 #endif // TF_DC_TRACE_HH

@@ -31,7 +31,22 @@ EthLink::send(std::uint64_t bytes, sim::EventQueue::Callback delivered)
     _messages.inc();
     _bytes.inc(bytes);
     sim::Tick deliver = start + ser + _params.latency;
-    after(deliver - now(), std::move(delivered));
+    if (_channel != nullptr)
+        _channel->send(deliver, std::move(delivered));
+    else
+        after(deliver - now(), std::move(delivered));
+}
+
+void
+EthLink::bindChannel(sim::par::LinkChannel *channel)
+{
+    TF_ASSERT(channel == nullptr ||
+                  channel->minLatency() <= _params.latency,
+              "%s: channel lookahead %llu exceeds link latency %llu",
+              name().c_str(),
+              (unsigned long long)channel->minLatency(),
+              (unsigned long long)_params.latency);
+    _channel = channel;
 }
 
 void
@@ -47,13 +62,57 @@ Network::Network(std::string name, sim::EventQueue &eq)
 }
 
 void
+Network::assign(const std::string &endpoint,
+                sim::par::LogicalProcess &lp)
+{
+    TF_ASSERT(_links.empty(),
+              "%s: assign('%s') after connect() — links are built on "
+              "their source endpoint's queue, so homes must be known "
+              "first",
+              _name.c_str(), endpoint.c_str());
+    _homes[endpoint] = &lp;
+}
+
+sim::par::LogicalProcess *
+Network::home(const std::string &endpoint) const
+{
+    auto it = _homes.find(endpoint);
+    return it == _homes.end() ? nullptr : it->second;
+}
+
+sim::EventQueue &
+Network::queueOf(const std::string &endpoint)
+{
+    sim::par::LogicalProcess *lp = home(endpoint);
+    return lp != nullptr ? lp->queue() : _eq;
+}
+
+void
 Network::connect(const std::string &a, const std::string &b,
                  EthParams params)
 {
     _links[a + "->" + b] = std::make_unique<EthLink>(
-        _name + "." + a + "->" + b, _eq, params);
+        _name + "." + a + "->" + b, queueOf(a), params);
     _links[b + "->" + a] = std::make_unique<EthLink>(
-        _name + "." + b + "->" + a, _eq, params);
+        _name + "." + b + "->" + a, queueOf(b), params);
+}
+
+void
+Network::partition(sim::par::ParallelEngine &engine)
+{
+    // Map iteration order makes channel indices (and therefore the
+    // engine's merge tiebreak) independent of connect() order.
+    for (auto &kv : _links) {
+        const std::string &key = kv.first;
+        auto sep = key.find("->");
+        sim::par::LogicalProcess *src = home(key.substr(0, sep));
+        sim::par::LogicalProcess *dst = home(key.substr(sep + 2));
+        if (src == nullptr || dst == nullptr || src == dst)
+            continue;
+        kv.second->bindChannel(&engine.connect(
+            *src, *dst, kv.second->params().latency,
+            _name + "." + key));
+    }
 }
 
 bool

@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "sim/parallel/engine.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -61,6 +62,18 @@ class EthLink : public sim::SimObject
     /** Deliver @p bytes to the far end; @p delivered runs on arrival. */
     void send(std::uint64_t bytes, sim::EventQueue::Callback delivered);
 
+    /**
+     * Route deliveries through a cross-LP channel instead of the
+     * local queue. The link keeps charging serialisation on the
+     * sender's clock; the delivery callback then runs on the
+     * channel's destination LP. The channel's lookahead must not
+     * exceed the link's fixed latency (the conservative floor of
+     * every delivery). Pass nullptr to unbind.
+     */
+    void bindChannel(sim::par::LinkChannel *channel);
+
+    const EthParams &params() const { return _params; }
+
     std::uint64_t messages() const { return _messages.value(); }
     std::uint64_t bytesSent() const { return _bytes.value(); }
 
@@ -72,6 +85,7 @@ class EthLink : public sim::SimObject
 
   private:
     EthParams _params;
+    sim::par::LinkChannel *_channel = nullptr;
     sim::Tick _nextFree = 0;
     sim::Counter _messages;
     sim::Counter _bytes;
@@ -85,6 +99,25 @@ class Network
 {
   public:
     Network(std::string name, sim::EventQueue &eq);
+
+    /**
+     * Home an endpoint on a logical process for partitioned runs.
+     * Must precede the connect() calls naming the endpoint: each
+     * directed link is a SimObject on its *source* endpoint's queue
+     * (its serialisation clock belongs to the sender's partition).
+     */
+    void assign(const std::string &endpoint,
+                sim::par::LogicalProcess &lp);
+
+    /**
+     * Create a channel for every directed link whose endpoints are
+     * homed on different LPs — lookahead is the link's fixed one-way
+     * latency, the conservative floor of every delivery — and route
+     * those links through them. Links between co-located (or
+     * unassigned) endpoints keep delivering locally. Call once,
+     * after all connect() calls.
+     */
+    void partition(sim::par::ParallelEngine &engine);
 
     /** Create a full-duplex link between two endpoints. */
     void connect(const std::string &a, const std::string &b,
@@ -115,10 +148,13 @@ class Network
     sim::EventQueue &_eq;
     // key: "src->dst" directed.
     std::map<std::string, std::unique_ptr<EthLink>> _links;
+    std::map<std::string, sim::par::LogicalProcess *> _homes;
 
     EthLink *link(const std::string &src, const std::string &dst);
     const EthLink *link(const std::string &src,
                         const std::string &dst) const;
+    sim::par::LogicalProcess *home(const std::string &endpoint) const;
+    sim::EventQueue &queueOf(const std::string &endpoint);
 };
 
 } // namespace tf::net

@@ -37,9 +37,25 @@ CrossingStage::push(mem::TxnPtr txn)
     _items.inc();
     _bytes.inc(wireBytes(*txn));
     _latencyNs.add(sim::toNs(deliver - now()));
-    after(deliver - now(), [this, txn = std::move(txn)]() mutable {
+    auto forward = [this, txn = std::move(txn)]() mutable {
         _out(std::move(txn));
-    });
+    };
+    if (_channel != nullptr)
+        _channel->send(deliver, std::move(forward));
+    else
+        after(deliver - now(), std::move(forward));
+}
+
+void
+CrossingStage::bindChannel(sim::par::LinkChannel *channel)
+{
+    TF_ASSERT(channel == nullptr ||
+                  channel->minLatency() <= _params.latency,
+              "%s: channel lookahead %llu exceeds stage latency %llu",
+              name().c_str(),
+              (unsigned long long)channel->minLatency(),
+              (unsigned long long)_params.latency);
+    _channel = channel;
 }
 
 void

@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "mem/transaction.hh"
+#include "sim/parallel/engine.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -41,6 +42,15 @@ class CrossingStage : public sim::SimObject
     /** Connect the downstream consumer. */
     void connect(OutFn out) { _out = std::move(out); }
 
+    /**
+     * Route deliveries through a cross-LP channel: the downstream
+     * consumer then runs on the channel's destination LP. Use when
+     * this crossing is the partition boundary of a parallel run (an
+     * OpenCAPI wire between nodes). The channel's lookahead must not
+     * exceed this stage's fixed latency. Pass nullptr to unbind.
+     */
+    void bindChannel(sim::par::LinkChannel *channel);
+
     /** Accept a transaction; delivers downstream after the delay. */
     void push(mem::TxnPtr txn);
 
@@ -60,6 +70,7 @@ class CrossingStage : public sim::SimObject
   private:
     CrossingParams _params;
     OutFn _out;
+    sim::par::LinkChannel *_channel = nullptr;
     sim::Tick _nextFree = 0;
     sim::Counter _items;
     sim::Counter _bytes;

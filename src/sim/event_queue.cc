@@ -130,6 +130,17 @@ EventQueue::runEvents(std::uint64_t maxEvents)
                  [maxEvents](std::uint64_t n) { return n >= maxEvents; });
 }
 
+Tick
+EventQueue::nextEventTick()
+{
+    while (!_heap.empty() && stale(_heap.front())) {
+        std::pop_heap(_heap.begin(), _heap.end(), Later{});
+        _heap.pop_back();
+        --_dead;
+    }
+    return _heap.empty() ? maxTick : _heap.front().when;
+}
+
 void
 EventQueue::warp(Tick when)
 {

@@ -117,6 +117,14 @@ class EventQueue
      */
     void warp(Tick when);
 
+    /**
+     * Absolute time of the earliest live event, or maxTick when the
+     * queue is drained. Purges cancelled entries off the heap top as
+     * a side effect (they carry no information). The parallel engine
+     * uses this to compute the next conservative window floor.
+     */
+    Tick nextEventTick();
+
     // ---- kernel health (telemetry) ----
 
     /** Physical heap occupancy, live + not-yet-reclaimed dead. */

@@ -1,0 +1,277 @@
+#include "sim/parallel/engine.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace tf::sim::par {
+
+namespace {
+
+/** Per-worker accumulator, padded against false sharing. */
+struct alignas(64) WorkerSlot
+{
+    std::uint64_t waitNs = 0;
+};
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+LogicalProcess &
+ParallelEngine::addLp(std::string name)
+{
+    auto id = static_cast<LpId>(_lps.size());
+    _lps.push_back(
+        std::make_unique<LogicalProcess>(id, std::move(name)));
+    _inbound.emplace_back();
+    return *_lps.back();
+}
+
+LinkChannel &
+ParallelEngine::connect(LogicalProcess &src, LogicalProcess &dst,
+                        Tick minLatency, std::string name)
+{
+    auto index = static_cast<std::uint32_t>(_channels.size());
+    if (name.empty())
+        name = src.name() + "->" + dst.name();
+    _channels.push_back(std::unique_ptr<LinkChannel>(new LinkChannel(
+        std::move(name), src, dst, minLatency, index)));
+    _inbound.at(dst.id()).push_back(_channels.back().get());
+    return *_channels.back();
+}
+
+Tick
+ParallelEngine::lookahead() const
+{
+    Tick la = maxTick;
+    for (const auto &ch : _channels)
+        la = std::min(la, ch->minLatency());
+    return la;
+}
+
+std::uint64_t
+ParallelEngine::executed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &lp : _lps)
+        total += lp->queue().executed();
+    return total;
+}
+
+Tick
+ParallelEngine::minNextEventTick()
+{
+    Tick floor = maxTick;
+    for (auto &lp : _lps)
+        floor = std::min(floor, lp->queue().nextEventTick());
+    return floor;
+}
+
+Tick
+ParallelEngine::windowRunTo(Tick floor, Tick la, Tick limit) const
+{
+    // No channels (la == maxTick) or a window reaching past the
+    // horizon: one window covers the whole remaining run.
+    if (la == maxTick || floor > maxTick - la)
+        return limit;
+    // Window [floor, floor + la): inclusive upper bound for run().
+    return std::min(limit, floor + la - 1);
+}
+
+void
+ParallelEngine::runLp(LogicalProcess &lp, Tick runTo)
+{
+    if (lp.queue().run(runTo) > 0)
+        lp._activeWindows.inc();
+}
+
+void
+ParallelEngine::mergeChannels()
+{
+    for (auto &lp : _lps) {
+        auto &inbound = _inbound[lp->id()];
+        _mergeScratch.clear();
+        for (LinkChannel *ch : inbound) {
+            for (auto &msg : ch->_outbox)
+                _mergeScratch.push_back(MergeItem{
+                    msg.when, ch->src(), ch->_index, msg.seq, &msg});
+        }
+        if (_mergeScratch.empty())
+            continue;
+        // Deterministic total order on deliveries: the thread that
+        // produced a message can never influence where it lands in
+        // the destination's event sequence.
+        std::sort(_mergeScratch.begin(), _mergeScratch.end(),
+                  [](const MergeItem &a, const MergeItem &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      if (a.chan != b.chan)
+                          return a.chan < b.chan;
+                      return a.seq < b.seq;
+                  });
+        for (auto &item : _mergeScratch) {
+            lp->queue().schedule(item.when, std::move(item.msg->cb));
+            lp->_merged.inc();
+            _mergedTotal.inc();
+        }
+        for (LinkChannel *ch : inbound) {
+            ch->_delivered.inc(ch->_outbox.size());
+            ch->_outbox.clear();
+        }
+    }
+}
+
+std::uint64_t
+ParallelEngine::runSerial(Tick limit)
+{
+    const std::uint64_t start = executed();
+    const Tick la = lookahead();
+    mergeChannels(); // traffic deposited before the run began
+    while (true) {
+        Tick floor = minNextEventTick();
+        if (floor == maxTick || floor > limit)
+            break;
+        Tick runTo = windowRunTo(floor, la, limit);
+        for (auto &lp : _lps)
+            runLp(*lp, runTo);
+        mergeChannels();
+        _windows.inc();
+    }
+    finishRun(limit);
+    return executed() - start;
+}
+
+std::uint64_t
+ParallelEngine::runParallel(Tick limit, unsigned workers)
+{
+    const std::uint64_t start = executed();
+    const Tick la = lookahead();
+    const std::size_t nLps = _lps.size();
+    mergeChannels(); // traffic deposited before the run began
+
+    std::barrier<> bar(workers);
+    std::vector<WorkerSlot> slots(workers);
+    _stop = false;
+
+    // Static LP-to-worker assignment: LP i belongs to worker
+    // i % workers for the whole run, so an LP's queue is only ever
+    // touched by one thread between barriers and its barrier-wait
+    // attribution is well defined.
+    auto workerShare = [this, nLps](unsigned w, unsigned stride,
+                                    Tick runTo) {
+        for (std::size_t i = w; i < nLps; i += stride)
+            runLp(*_lps[i], runTo);
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w) {
+        pool.emplace_back([this, &bar, &slots, workerShare, w,
+                           workers]() {
+            while (true) {
+                bar.arrive_and_wait(); // window start / stop signal
+                if (_stop)
+                    return;
+                workerShare(w, workers, _runTo);
+                std::uint64_t t0 = nowNs();
+                bar.arrive_and_wait(); // window end
+                slots[w].waitNs += nowNs() - t0;
+            }
+        });
+    }
+
+    while (true) {
+        // All workers are parked at the start barrier here, so the
+        // queues are quiescent and the floor scan is race-free.
+        Tick floor = minNextEventTick();
+        if (floor == maxTick || floor > limit)
+            break;
+        _runTo = windowRunTo(floor, la, limit);
+        bar.arrive_and_wait(); // publish _runTo, open the window
+        workerShare(0, workers, _runTo);
+        std::uint64_t t0 = nowNs();
+        bar.arrive_and_wait(); // window end
+        slots[0].waitNs += nowNs() - t0;
+        mergeChannels();
+        _windows.inc();
+    }
+
+    _stop = true;
+    bar.arrive_and_wait(); // release workers into the stop check
+    for (auto &t : pool)
+        t.join();
+
+    for (std::size_t i = 0; i < nLps; ++i)
+        _lps[i]->_barrierWaitNs.inc(slots[i % workers].waitNs);
+
+    finishRun(limit);
+    return executed() - start;
+}
+
+void
+ParallelEngine::finishRun(Tick limit)
+{
+    // Match EventQueue::run semantics: a finite limit leaves every
+    // clock at the limit even when a queue drained early.
+    if (limit != maxTick)
+        for (auto &lp : _lps)
+            lp->queue().run(limit);
+}
+
+std::uint64_t
+ParallelEngine::run(Tick limit)
+{
+    TF_ASSERT(!_lps.empty(), "engine has no logical processes");
+    unsigned workers = std::max(1u, _jobs);
+    workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers, _lps.size()));
+    if (workers <= 1)
+        return runSerial(limit);
+    return runParallel(limit, workers);
+}
+
+void
+ParallelEngine::attachStats(StatsRegistry &reg,
+                            const std::string &prefix, bool wallClock)
+{
+    StatSet &top = reg.at(prefix);
+    top.attach("windows", _windows, "windows",
+               "conservative synchronization windows");
+    top.attach("merged", _mergedTotal, "msgs",
+               "cross-LP messages merged at window barriers");
+    top.record("lps", static_cast<double>(_lps.size()), "lps");
+    if (!_channels.empty())
+        top.record("lookaheadNs", toNs(lookahead()), "ns",
+                   "min cross-LP link latency");
+    for (auto &lp : _lps) {
+        StatSet &set =
+            reg.at(prefix + ".lp" + std::to_string(lp->id()));
+        lp->queue().attachStats(set);
+        set.attach("activeWindows", lp->_activeWindows, "windows",
+                   "windows in which this LP executed events");
+        set.attach("merged", lp->_merged, "msgs",
+                   "messages merged into this LP");
+        if (wallClock)
+            set.attach("barrierWaitNs", lp->_barrierWaitNs, "ns",
+                       "owning worker's wall-clock wait at "
+                       "window-end barriers");
+    }
+    for (auto &ch : _channels)
+        ch->attachStats(
+            reg.at(prefix + ".chan" + std::to_string(ch->_index)));
+}
+
+} // namespace tf::sim::par

@@ -1,0 +1,43 @@
+#include "sim/parallel/link_channel.hh"
+
+#include "sim/logging.hh"
+
+namespace tf::sim::par {
+
+LinkChannel::LinkChannel(std::string name, LogicalProcess &src,
+                         LogicalProcess &dst, Tick minLatency,
+                         std::uint32_t index)
+    : _src(&src), _dst(&dst), _name(std::move(name)),
+      _minLatency(minLatency), _index(index)
+{
+    TF_ASSERT(_minLatency > 0,
+              "channel '%s' (%s -> %s): zero lookahead — a "
+              "conservative engine cannot make progress across a "
+              "zero-latency partition boundary",
+              _name.c_str(), src.name().c_str(), dst.name().c_str());
+    TF_ASSERT(_src != _dst, "channel '%s': src and dst LP are the same",
+              _name.c_str());
+}
+
+void
+LinkChannel::send(Tick deliverAt, EventCallback cb)
+{
+    TF_ASSERT(deliverAt >= _src->queue().now() + _minLatency,
+              "channel '%s': delivery at %llu violates the min-latency "
+              "contract (now %llu + %llu)",
+              _name.c_str(), (unsigned long long)deliverAt,
+              (unsigned long long)_src->queue().now(),
+              (unsigned long long)_minLatency);
+    _outbox.push_back(Msg{deliverAt, _nextSeq++, std::move(cb)});
+    _sent.inc();
+}
+
+void
+LinkChannel::attachStats(StatSet &set)
+{
+    set.attach("sent", _sent, "msgs", "messages deposited");
+    set.attach("delivered", _delivered, "msgs",
+               "messages merged into the destination LP");
+}
+
+} // namespace tf::sim::par

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Logical process: one partition of a parallel simulation.
+ *
+ * A LogicalProcess (LP) owns a private EventQueue holding the events
+ * of one simulated node (or node group). All state of the components
+ * built against that queue belongs to the LP and may only be touched
+ * by the one worker thread executing the LP's window — the engine
+ * never runs the same LP on two threads concurrently, and all
+ * cross-LP traffic crosses through a LinkChannel at a window barrier.
+ *
+ * See engine.hh for the synchronization protocol and DESIGN.md §11
+ * for the determinism argument.
+ */
+
+#ifndef TF_SIM_PARALLEL_LP_HH
+#define TF_SIM_PARALLEL_LP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace tf::sim::par {
+
+using LpId = std::uint32_t;
+
+class LogicalProcess
+{
+  public:
+    LogicalProcess(LpId id, std::string name)
+        : _id(id), _name(std::move(name))
+    {}
+
+    LogicalProcess(const LogicalProcess &) = delete;
+    LogicalProcess &operator=(const LogicalProcess &) = delete;
+
+    LpId id() const { return _id; }
+    const std::string &name() const { return _name; }
+
+    /** The LP's private event kernel. Build your components on it. */
+    EventQueue &queue() { return _eq; }
+    const EventQueue &queue() const { return _eq; }
+
+    /** Windows in which this LP executed at least one event. */
+    std::uint64_t activeWindows() const { return _activeWindows.value(); }
+
+    /** Cross-LP messages merged into this LP at window barriers. */
+    std::uint64_t merged() const { return _merged.value(); }
+
+    /**
+     * Wall-clock nanoseconds the worker owning this LP spent waiting
+     * at window-end barriers (zero when the engine runs serially).
+     * A large value relative to its siblings means the partition is
+     * under-loaded. Non-deterministic by nature: excluded from the
+     * default stats export (see ParallelEngine::attachStats).
+     */
+    std::uint64_t barrierWaitNs() const { return _barrierWaitNs.value(); }
+
+  private:
+    friend class ParallelEngine;
+
+    LpId _id;
+    std::string _name;
+    EventQueue _eq;
+    Counter _activeWindows;
+    Counter _merged;
+    Counter _barrierWaitNs;
+};
+
+} // namespace tf::sim::par
+
+#endif // TF_SIM_PARALLEL_LP_HH

@@ -474,6 +474,19 @@ StatsRegistry::freezeAll()
 }
 
 void
+StatsRegistry::adopt(StatsRegistry &&other)
+{
+    for (auto &[path, set] : other._sets) {
+        set->freeze();
+        bool inserted = _sets.emplace(path, std::move(set)).second;
+        TF_ASSERT(inserted,
+                  "adopt: stat path '%s' already registered",
+                  path.c_str());
+    }
+    other._sets.clear();
+}
+
+void
 StatsRegistry::print(std::ostream &os) const
 {
     for (const auto &[path, set] : _sets)

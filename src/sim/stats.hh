@@ -304,6 +304,16 @@ class StatsRegistry
     /** freeze() every registered set. */
     void freezeAll();
 
+    /**
+     * Move every set of @p other into this registry, freezing each
+     * first so no live component references cross over. Paths must
+     * not collide with existing ones (TF_ASSERT). Lets independent
+     * per-point registries — filled concurrently by the bench
+     * harness — merge into one deterministic export: the sorted map
+     * makes the result independent of adoption order.
+     */
+    void adopt(StatsRegistry &&other);
+
     /** Print every set, path-prefixed, in path order. */
     void print(std::ostream &os) const;
 

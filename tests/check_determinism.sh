@@ -1,0 +1,49 @@
+#!/bin/sh
+# Same-seed determinism cross-check for the parallel bench harness.
+#
+# Runs the smoke-sized proto_datapath and fig05_stream scenarios with
+# --jobs 1, 2 and 4 and requires every result document to be
+# byte-identical (--no-wall strips the only legitimately varying
+# field). This is the end-to-end guarantee the parallel engine and
+# the point-sharding harness promise: worker count must not be
+# observable in any output.
+#
+# Usage: check_determinism.sh <path-to-tf_bench>
+
+set -e
+
+bench="$1"
+if [ -z "$bench" ] || [ ! -x "$bench" ]; then
+    echo "usage: $0 <path-to-tf_bench>" >&2
+    exit 2
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+scenarios="proto_datapath fig05_stream"
+for jobs in 1 2 4; do
+    mkdir -p "$workdir/j$jobs"
+    "$bench" --smoke --no-wall --seed 42 --jobs "$jobs" \
+        --scenario proto_datapath --scenario fig05_stream \
+        --out "$workdir/j$jobs" > /dev/null
+done
+
+status=0
+for s in $scenarios; do
+    for jobs in 2 4; do
+        if ! cmp -s "$workdir/j1/BENCH_$s.json" \
+                    "$workdir/j$jobs/BENCH_$s.json"; then
+            echo "FAIL: $s differs between --jobs 1 and" \
+                 "--jobs $jobs" >&2
+            diff "$workdir/j1/BENCH_$s.json" \
+                 "$workdir/j$jobs/BENCH_$s.json" | head -20 >&2
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "determinism OK: $scenarios byte-identical at --jobs 1/2/4"
+fi
+exit $status

@@ -148,6 +148,40 @@ TEST(ClockDomain, MesochronousPhase)
     EXPECT_EQ(clk.nextEdge(251), 1250u);
 }
 
+TEST(ClockDomain, MesochronousEdgeAlignment)
+{
+    // Three transceiver-group clocks at the prototype frequency with
+    // distinct skews (thirds of a period): every edge must stay
+    // phase-aligned to its own domain — same frequency, constant
+    // offset, zero drift — for arbitrary query times.
+    const std::array<Tick, 3> phases = {0, 831, 1662};
+    std::vector<ClockDomain> domains;
+    for (Tick p : phases)
+        domains.push_back(prototypeClock(p));
+    const Tick period = domains[0].period();
+
+    const std::array<Tick, 7> queries = {0u,    1u,      830u,   831u,
+                                         2493u, 100000u, 999983u};
+    for (Tick t : queries) {
+        for (const ClockDomain &clk : domains) {
+            Tick e = clk.nextEdge(t);
+            EXPECT_GE(e, t);
+            EXPECT_EQ((e - clk.phase()) % period, 0u);
+            // Edges are fixed points; the following edge is exactly
+            // one period later and advances the cycle count by one.
+            EXPECT_EQ(clk.nextEdge(e), e);
+            EXPECT_EQ(clk.nextEdge(e + 1), e + period);
+            EXPECT_EQ(clk.cycleCount(e + period),
+                      clk.cycleCount(e) + 1);
+        }
+        // Mesochronous pair: the offset between the domains' next
+        // edges is always congruent to their phase skew.
+        Tick ea = domains[0].nextEdge(t);
+        Tick eb = domains[1].nextEdge(t);
+        EXPECT_EQ((eb + period - ea) % period, phases[1] % period);
+    }
+}
+
 TEST(Rng, DeterministicAcrossInstances)
 {
     Rng a(42), b(42);
