@@ -62,6 +62,47 @@ ScenarioContext::addRun(const sim::EventQueue &eq)
 }
 
 void
+ScenarioContext::collectTrace(const sim::EventQueue &eq,
+                              std::string node)
+{
+    _collector.addBuffer(eq.trace(), std::move(node));
+}
+
+void
+ScenarioContext::appendTraceMetrics()
+{
+    if (_collector.empty())
+        return;
+    sim::trace::Attribution attr = _collector.attribution();
+    auto emit = [this](const std::string &prefix,
+                       const sim::QuantileSketch &q) {
+        if (q.count() == 0)
+            return;
+        metric(prefix + ".count", static_cast<double>(q.count()),
+               "spans");
+        metric(prefix + ".p50Ns", q.quantile(0.50), "ns");
+        metric(prefix + ".p95Ns", q.quantile(0.95), "ns");
+        metric(prefix + ".p99Ns", q.quantile(0.99), "ns");
+    };
+    for (int s = 0; s < sim::trace::kStageCount; ++s)
+        emit(std::string("trace.attr.") +
+                 sim::trace::stageName(
+                     static_cast<sim::trace::Stage>(s)),
+             attr.stageNs[static_cast<std::size_t>(s)]);
+    emit("trace.attr.total", attr.totalNs);
+}
+
+bool
+ScenarioContext::writeTrace(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    _collector.writeJson(out);
+    return static_cast<bool>(out);
+}
+
+void
 ScenarioContext::commit(ScenarioContext &&point)
 {
     for (auto &m : point._metrics)
@@ -69,6 +110,7 @@ ScenarioContext::commit(ScenarioContext &&point)
     _simTicks += point._simTicks;
     _events += point._events;
     _registry.adopt(std::move(point._registry));
+    _collector.adopt(std::move(point._collector));
 }
 
 void
@@ -80,6 +122,7 @@ ScenarioContext::runPoints(
         auto sub = std::make_unique<ScenarioContext>(_scenario, _seed,
                                                      _smoke);
         sub->setOutDir(_outDir);
+        sub->setTraceEnabled(_traceEnabled);
         return sub;
     };
 
@@ -204,7 +247,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--list] [--smoke] [--scenario NAME]...\n"
                  "          [--seed N] [--out DIR] [--jobs N]\n"
-                 "          [--no-wall]\n"
+                 "          [--no-wall] [--trace FILE]\n"
                  "  --list           list scenarios and exit\n"
                  "  --smoke          CI-sized runs, smoke subset only\n"
                  "  --scenario NAME  run NAME (repeatable); default:\n"
@@ -215,7 +258,14 @@ usage(const char *argv0)
                  "                   result document is identical for\n"
                  "                   any N under the same seed\n"
                  "  --no-wall        omit wall-clock meta so same-seed\n"
-                 "                   runs are byte-identical\n",
+                 "                   runs are byte-identical\n"
+                 "  --trace FILE     record causal spans: write a\n"
+                 "                   Perfetto-loadable trace-event\n"
+                 "                   file (byte-identical for any\n"
+                 "                   --jobs) and add trace.attr.*\n"
+                 "                   latency attribution to the BENCH\n"
+                 "                   JSON; with several scenarios the\n"
+                 "                   file is FILE.<scenario>\n",
                  argv0);
     return 2;
 }
@@ -228,6 +278,7 @@ struct Options
     unsigned jobs = 1;
     std::uint64_t seed = 42;
     std::string outDir = ".";
+    std::string traceFile;
     std::vector<std::string> names;
 };
 
@@ -257,12 +308,29 @@ runScenarios(const Options &opt)
         ScenarioContext ctx(s->name, opt.seed, opt.smoke);
         ctx.setJobs(opt.jobs);
         ctx.setOutDir(opt.outDir);
+        ctx.setTraceEnabled(!opt.traceFile.empty());
         auto start = std::chrono::steady_clock::now();
         s->run(ctx);
         double wallMs =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+
+        if (!opt.traceFile.empty()) {
+            ctx.appendTraceMetrics();
+            std::string tracePath =
+                selected.size() == 1
+                    ? opt.traceFile
+                    : opt.traceFile + "." + s->name;
+            if (!ctx.writeTrace(tracePath)) {
+                std::fprintf(stderr, "tf_bench: cannot write %s\n",
+                             tracePath.c_str());
+                return 1;
+            }
+            std::printf("  -> %s (%zu trace node(s))\n",
+                        tracePath.c_str(),
+                        ctx.collector().nodeCount());
+        }
 
         std::string path =
             opt.outDir + "/BENCH_" + s->name + ".json";
@@ -310,6 +378,8 @@ parseAndRun(int argc, char **argv,
                 opt.jobs = 1;
         } else if (arg == "--no-wall") {
             opt.noWall = true;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            opt.traceFile = argv[++i];
         } else {
             return usage(argv[0]);
         }

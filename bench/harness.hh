@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/trace/export.hh"
 #include "system/testbed.hh"
 
 namespace tf::bench {
@@ -92,6 +93,35 @@ class ScenarioContext
     /** The shared stats registry scenarios register beds into. */
     sim::StatsRegistry &registry() { return _registry; }
 
+    /**
+     * Full span tracing requested (--trace). Scenarios that support
+     * it switch their queues' TraceBuffers to full mode and hand the
+     * filled buffers back via collectTrace(); scenarios that don't
+     * simply produce an empty trace.
+     */
+    bool traceEnabled() const { return _traceEnabled; }
+    void setTraceEnabled(bool on) { _traceEnabled = on; }
+
+    /** Snapshot a queue's trace buffer under a node label. */
+    void collectTrace(const sim::EventQueue &eq, std::string node);
+
+    /** The collected spans (merged across points in index order). */
+    const sim::trace::TraceCollector &collector() const
+    {
+        return _collector;
+    }
+
+    /**
+     * Append trace.attr.<stage>.{count,p50Ns,p95Ns,p99Ns} metrics
+     * (plus trace.attr.total.*) from the collected spans. Called by
+     * the harness after the scenario ran, before serialisation, so
+     * the attribution table lands in the same BENCH JSON.
+     */
+    void appendTraceMetrics();
+
+    /** Write the collected spans as trace-event JSON. */
+    bool writeTrace(const std::string &path) const;
+
     /** Record one headline metric (insertion order preserved). */
     void metric(const std::string &name, double value,
                 const std::string &unit = "");
@@ -142,9 +172,11 @@ class ScenarioContext
     std::string _scenario;
     std::uint64_t _seed;
     bool _smoke;
+    bool _traceEnabled = false;
     unsigned _jobs = 1;
     std::string _outDir = ".";
     sim::StatsRegistry _registry;
+    sim::trace::TraceCollector _collector;
     std::vector<Metric> _metrics;
     std::uint64_t _simTicks = 0;
     std::uint64_t _events = 0;
@@ -165,8 +197,9 @@ const std::vector<Scenario> &scenarios();
 
 /**
  * The tf_bench entry point: parses --list / --smoke / --scenario /
- * --seed / --out and runs the selected scenarios, writing one
- * BENCH_<name>.json each.
+ * --seed / --out / --trace and runs the selected scenarios, writing
+ * one BENCH_<name>.json each (and, under --trace, a Perfetto-loadable
+ * trace-event file).
  */
 int harnessMain(int argc, char **argv);
 

@@ -180,6 +180,10 @@ protoRttPoint(ScenarioContext &sub)
     dparams.accessLatency = 0;
     dparams.bandwidthBps = 1e15;
     Rig rig(sub.seed(), flow::FlowParams{}, dparams);
+    if (sub.traceEnabled()) {
+        rig.eq.trace().setFull(true);
+        rig.eq.trace().setIdTag(1); // unique ids across points
+    }
     rig.dp->registerStats(sub.registry(), "proto.rtt");
     rig.eq.attachStats(sub.registry().at("proto.rtt.eq"));
     auto txn = mem::makeTxn(mem::TxnType::ReadReq, kWindowBase + 0x100);
@@ -187,6 +191,8 @@ protoRttPoint(ScenarioContext &sub)
     rig.eq.run();
     sub.metric("rttNs", rig.dp->compute().rttNs().mean(), "ns");
     sub.addRun(rig.eq);
+    if (sub.traceEnabled())
+        sub.collectTrace(rig.eq, "proto.rtt");
     sub.registry().freezeAll();
 }
 
@@ -201,10 +207,22 @@ protoBandwidthPoint(ScenarioContext &sub, const std::string &prefix,
                     int total)
 {
     Rig rig(sub.seed());
+    // Only the quantile (single-flow) point records spans: pooling
+    // attribution across load levels would blur the stage medians.
+    bool traced = sub.traceEnabled() && quantiles;
+    if (traced) {
+        rig.eq.trace().setFull(true);
+        rig.eq.trace().setIdTag(2);
+    }
     rig.dp->registerStats(sub.registry(), prefix);
     rig.eq.attachStats(sub.registry().at(prefix + ".eq"));
     pumpReads(rig, base, warmup);
     sub.registry().resetAll(prefix);
+    // Drop warmup spans so the trace covers the measured phase only
+    // (ends of still-in-flight warmup spans show up as orphans and
+    // are ignored by the attribution pass).
+    if (traced)
+        rig.eq.trace().clear();
     sim::Tick start = rig.eq.now();
     pumpReads(rig, base, total);
     double gib = static_cast<double>(total) * 128 /
@@ -220,6 +238,8 @@ protoBandwidthPoint(ScenarioContext &sub, const std::string &prefix,
         sub.metric("bondedGiBs", gib, "GiB/s");
     }
     sub.addRun(rig.eq);
+    if (traced)
+        sub.collectTrace(rig.eq, prefix);
     sub.registry().freezeAll();
 }
 
@@ -541,6 +561,17 @@ runParallelScale(ScenarioContext &ctx)
         sim::par::ParallelEngine engine(jobs);
         sys::RackCluster cluster("rack", engine, shards, rp,
                                  ctx.seed());
+        // Trace only the recorded leg; buffers are per-LP and filled
+        // in each LP's own deterministic event order, so the
+        // collection is identical for any worker count.
+        if (record && ctx.traceEnabled()) {
+            for (std::size_t i = 0; i < engine.lpCount(); ++i) {
+                auto &tb = engine.lp(i).queue().trace();
+                tb.setFull(true);
+                tb.setIdTag(static_cast<std::uint32_t>(i) + 1);
+                tb.setName("rack" + std::to_string(i));
+            }
+        }
         auto start = std::chrono::steady_clock::now();
         engine.run();
         Leg leg;
@@ -557,8 +588,12 @@ runParallelScale(ScenarioContext &ctx)
             engine.attachStats(ctx.registry(), "sim.par",
                                /*wallClock=*/true);
             ctx.registry().freezeAll();
-            for (std::size_t i = 0; i < engine.lpCount(); ++i)
+            for (std::size_t i = 0; i < engine.lpCount(); ++i) {
                 ctx.addRun(engine.lp(i).queue());
+                if (ctx.traceEnabled())
+                    ctx.collectTrace(engine.lp(i).queue(),
+                                     "rack" + std::to_string(i));
+            }
         }
         return leg;
     };

@@ -10,19 +10,38 @@
  *      on server A);
  *   2. allocate application memory under the kernel's page policy;
  *   3. run a workload and read the statistics back.
+ *
+ * Run with `--trace out.json` to record every transaction's causal
+ * spans and load the result in Perfetto (ui.perfetto.dev).
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "apps/stream.hh"
+#include "sim/trace/export.hh"
 #include "system/testbed.hh"
 
 using namespace tf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *traceFile = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            traceFile = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--trace FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     sim::EventQueue eq;
+    if (traceFile != nullptr)
+        eq.trace().setFull(true);
 
     sys::TestbedParams params;
     params.setup = sys::Setup::SingleDisaggregated;
@@ -54,5 +73,18 @@ main()
                 "%.0f ns\n",
                 (unsigned long long)compute.completed(),
                 compute.rttNs().mean());
+
+    if (traceFile != nullptr) {
+        sim::trace::TraceCollector collector;
+        collector.addBuffer(eq.trace(), "quickstart");
+        std::ofstream out(traceFile);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", traceFile);
+            return 1;
+        }
+        collector.writeJson(out);
+        std::printf("span trace written to %s (open in Perfetto)\n",
+                    traceFile);
+    }
     return 0;
 }

@@ -20,6 +20,7 @@
 
 #include "mem/addr.hh"
 #include "sim/ticks.hh"
+#include "sim/trace/span.hh"
 
 namespace tf::mem {
 
@@ -80,6 +81,14 @@ struct MemTxn
 
     /** Issue time at the original requester, for latency stats. */
     sim::Tick issued = 0;
+
+    /**
+     * Causal-trace id, allocated by the compute endpoint at issue
+     * (noTrace when the transaction is unsampled or tracing is off).
+     * makeResponse() flips this object in place, so the response
+     * inherits the id and one trace covers the full round trip.
+     */
+    sim::trace::TraceId traceId = sim::trace::noTrace;
 
     /** Functional payload (writes carry data; read responses fill it). */
     std::vector<std::uint8_t> data;

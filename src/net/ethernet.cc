@@ -31,6 +31,14 @@ EthLink::send(std::uint64_t bytes, sim::EventQueue::Callback delivered)
     _messages.inc();
     _bytes.inc(bytes);
     sim::Tick deliver = start + ser + _params.latency;
+    // Control-plane messages carry no MemTxn, so each send gets its
+    // own trace id. Both edges are recorded here on the source LP.
+    auto &tb = eventQueue().trace();
+    if (sim::trace::TraceId id = tb.newTrace();
+        id != sim::trace::noTrace) {
+        tb.begin(now(), id, sim::trace::Stage::Eth);
+        tb.end(deliver, id, sim::trace::Stage::Eth);
+    }
     if (_channel != nullptr)
         _channel->send(deliver, std::move(delivered));
     else

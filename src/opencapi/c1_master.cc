@@ -18,6 +18,8 @@ C1Master::master(Pasid pasid, mem::TxnPtr txn, DoneFn done)
 {
     TF_ASSERT(mem::isRequest(txn->type), "C1 master got a response");
 
+    eventQueue().trace().begin(now(), txn->traceId,
+                               sim::trace::Stage::C1);
     if (!_pasids.authorised(pasid, txn->addr, txn->size)) {
         _faults.inc();
         sim::warn("%s: C1 fault: pasid %u addr %#llx size %u",
@@ -26,6 +28,8 @@ C1Master::master(Pasid pasid, mem::TxnPtr txn, DoneFn done)
         txn->makeResponse();
         txn->data.clear();
         txn->error = true;
+        eventQueue().trace().end(now(), txn->traceId,
+                                 sim::trace::Stage::C1);
         done(std::move(txn));
         return;
     }
@@ -48,6 +52,9 @@ C1Master::master(Pasid pasid, mem::TxnPtr txn, DoneFn done)
                             accepted](mem::TxnPtr resp) {
                                _serviceNs.add(
                                    sim::toNs(now() - accepted));
+                               eventQueue().trace().end(
+                                   now(), resp->traceId,
+                                   sim::trace::Stage::C1);
                                done(std::move(resp));
                            });
           });

@@ -37,6 +37,12 @@ CrossingStage::push(mem::TxnPtr txn)
     _items.inc();
     _bytes.inc(wireBytes(*txn));
     _latencyNs.add(sim::toNs(deliver - now()));
+    if (_traceStage != sim::trace::Stage::None &&
+        txn->traceId != sim::trace::noTrace) {
+        auto &tb = eventQueue().trace();
+        tb.begin(now(), txn->traceId, _traceStage);
+        tb.end(deliver, txn->traceId, _traceStage);
+    }
     auto forward = [this, txn = std::move(txn)]() mutable {
         _out(std::move(txn));
     };

@@ -67,10 +67,19 @@ class CrossingStage : public sim::SimObject
     /** Attach item/byte counters and the latency sketch. */
     void attachStats(sim::StatSet &set);
 
+    /**
+     * Tag the stage for causal tracing: traced transactions open a
+     * span named after @p stage on push and close it at the delivery
+     * tick. Both edges are recorded at push time on this stage's own
+     * LP, so channel-bound crossings never write a remote buffer.
+     */
+    void setTraceStage(sim::trace::Stage stage) { _traceStage = stage; }
+
   private:
     CrossingParams _params;
     OutFn _out;
     sim::par::LinkChannel *_channel = nullptr;
+    sim::trace::Stage _traceStage = sim::trace::Stage::None;
     sim::Tick _nextFree = 0;
     sim::Counter _items;
     sim::Counter _bytes;

@@ -35,6 +35,7 @@
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace/buffer.hh"
 
 namespace tf::sim {
 
@@ -145,6 +146,15 @@ class EventQueue
     /** Attach kernel counters ("sim.eq.*") for telemetry export. */
     void attachStats(StatSet &set);
 
+    /**
+     * This queue's span-trace buffer (see src/sim/trace). One buffer
+     * per queue keeps recording single-writer in the parallel engine
+     * (one LP = one queue = one thread), which is what lets the
+     * tracing layer stay lock-free.
+     */
+    trace::TraceBuffer &trace() { return _trace; }
+    const trace::TraceBuffer &trace() const { return _trace; }
+
   private:
     /**
      * Heap ordering key. The callback is *not* here: entries are
@@ -210,6 +220,7 @@ class EventQueue
     Counter _cancelled;
     Counter _compactions;
     Counter _highWater;
+    trace::TraceBuffer _trace;
 };
 
 } // namespace tf::sim

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "sim/trace/buffer.hh"
+
 namespace tf::sim {
 
 namespace {
@@ -58,8 +60,14 @@ panic(const char *fmt, ...)
 {
     std::va_list args;
     va_start(args, fmt);
-    emit("panic", fmt, args);
+    std::string msg = vstrprintf(fmt, args);
     va_end(args);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    // A panic is an internal bug: ship the flight recorder's last
+    // in-flight spans alongside the message before dying, so a CI
+    // failure carries a picture of the final microseconds. fatal()
+    // (user/configuration error) deliberately does not dump.
+    trace::dumpFlightRecorder(msg.c_str());
     std::abort();
 }
 

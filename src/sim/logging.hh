@@ -67,4 +67,17 @@ std::string strprintf(const char *fmt, ...)
         }                                                                  \
     } while (0)
 
+/**
+ * Debug logging that costs one branch when filtered: the level check
+ * happens before the call, so the arguments (which may themselves be
+ * function calls — strrchr(), name().c_str(), ...) are never
+ * evaluated unless Debug verbosity is actually enabled. Prefer this
+ * over calling debug() directly on any hot path.
+ */
+#define TF_DEBUG(...)                                                      \
+    do {                                                                   \
+        if (::tf::sim::logLevel() >= ::tf::sim::LogLevel::Debug)           \
+            ::tf::sim::debug(__VA_ARGS__);                                 \
+    } while (0)
+
 #endif // TF_SIM_LOGGING_HH

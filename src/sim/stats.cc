@@ -186,6 +186,22 @@ QuantileSketch::reset()
     *this = QuantileSketch{};
 }
 
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    if (other._count == 0)
+        return;
+    if (other._buckets.size() > _buckets.size())
+        _buckets.resize(other._buckets.size(), 0);
+    for (std::size_t i = 0; i < other._buckets.size(); ++i)
+        _buckets[i] += other._buckets[i];
+    _zeroCount += other._zeroCount;
+    _count += other._count;
+    _sum += other._sum;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
 double
 QuantileSketch::quantile(double q) const
 {

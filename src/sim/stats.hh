@@ -148,6 +148,15 @@ class QuantileSketch
     void add(double x, std::uint64_t weight = 1);
     void reset();
 
+    /**
+     * Fold @p other into this sketch. Buckets share a fixed global
+     * layout, so merging is bucket-wise addition: commutative and
+     * associative up to the floating-point _sum, and a merge of N
+     * shards is bucket-exact against the unsharded sketch (the
+     * --jobs trace-attribution merge relies on this).
+     */
+    void merge(const QuantileSketch &other);
+
     std::uint64_t count() const { return _count; }
     double min() const { return _count ? _min : 0.0; }
     double max() const { return _count ? _max : 0.0; }

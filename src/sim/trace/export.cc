@@ -1,0 +1,216 @@
+#include "sim/trace/export.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace tf::sim::trace {
+
+namespace {
+
+/** Minimal JSON string escaping (panic messages carry quotes). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Ticks are picoseconds and trace-event timestamps are microseconds:
+ * emit "<us>.<frac>" from the integer tick so the output is exact
+ * and byte-deterministic (no double formatting involved).
+ */
+void
+writeTs(std::ostream &os, Tick tick)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf),
+                  "%" PRIu64 ".%06" PRIu64,
+                  tick / ticksPerUs, tick % ticksPerUs);
+    os << buf;
+}
+
+void
+writeEvent(std::ostream &os, const SpanEvent &ev, std::size_t pid)
+{
+    const char *ph =
+        ev.kind == SpanEvent::Kind::Begin ? "b" : "e";
+    os << "{\"ph\":\"" << ph << "\",\"cat\":\"span\",\"name\":\""
+       << stageName(ev.stage) << "\",\"id2\":{\"local\":\"0x"
+       << std::hex << ev.id << std::dec << "\"},\"pid\":" << pid
+       << ",\"tid\":" << static_cast<int>(ev.stage) << ",\"ts\":";
+    writeTs(os, ev.tick);
+    if (ev.kind == SpanEvent::Kind::Begin)
+        os << ",\"args\":{\"depth\":" << ev.depth << "}";
+    os << "}";
+}
+
+} // namespace
+
+void
+writeTraceEventsJson(std::ostream &os,
+                     const std::vector<NodeTrace> &nodes,
+                     const char *reason)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Metadata: one process per node, one thread per stage seen.
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        std::size_t pid = n + 1;
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+           << escape(nodes[n].name) << "\"}}";
+        bool seen[kStageCount] = {};
+        for (const SpanEvent &ev : nodes[n].events)
+            seen[static_cast<int>(ev.stage)] = true;
+        for (int s = 0; s < kStageCount; ++s) {
+            if (!seen[s])
+                continue;
+            sep();
+            os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << s
+               << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+               << stageName(static_cast<Stage>(s)) << "\"}}"
+               << "";
+            sep();
+            os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << s
+               << ",\"name\":\"thread_sort_index\",\"args\":"
+               << "{\"sort_index\":" << s << "}}";
+        }
+    }
+
+    // Span events, globally ordered by (tick, node, append order) —
+    // a total order independent of how the buffers were filled.
+    struct Ref
+    {
+        Tick tick;
+        std::uint32_t node;
+        std::uint32_t idx;
+    };
+    std::vector<Ref> refs;
+    std::size_t total = 0;
+    for (const NodeTrace &node : nodes)
+        total += node.events.size();
+    refs.reserve(total);
+    for (std::size_t n = 0; n < nodes.size(); ++n)
+        for (std::size_t i = 0; i < nodes[n].events.size(); ++i)
+            refs.push_back(Ref{nodes[n].events[i].tick,
+                               static_cast<std::uint32_t>(n),
+                               static_cast<std::uint32_t>(i)});
+    std::sort(refs.begin(), refs.end(),
+              [](const Ref &a, const Ref &b) {
+                  if (a.tick != b.tick)
+                      return a.tick < b.tick;
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  return a.idx < b.idx;
+              });
+    for (const Ref &r : refs) {
+        sep();
+        writeEvent(os, nodes[r.node].events[r.idx], r.node + 1);
+    }
+
+    os << "],\n\"displayTimeUnit\":\"ns\"";
+    if (reason != nullptr)
+        os << ",\n\"otherData\":{\"reason\":\""
+           << escape(reason) << "\"}";
+    os << "}\n";
+}
+
+void
+TraceCollector::addBuffer(const TraceBuffer &buffer, std::string node)
+{
+    NodeTrace nt;
+    nt.name = std::move(node);
+    nt.events = buffer.snapshot();
+    _nodes.push_back(std::move(nt));
+}
+
+void
+TraceCollector::adopt(TraceCollector &&other)
+{
+    for (NodeTrace &node : other._nodes)
+        _nodes.push_back(std::move(node));
+    other._nodes.clear();
+}
+
+void
+TraceCollector::writeJson(std::ostream &os) const
+{
+    writeTraceEventsJson(os, _nodes, nullptr);
+}
+
+Attribution
+TraceCollector::attribution() const
+{
+    Attribution attr;
+    // One transaction's spans spread over several buffers (host eq,
+    // channel eq, donor eq), so per-trace totals accumulate across
+    // nodes. Only round trips that closed the final host stage feed
+    // totalNs: in-flight tails and control-plane-only ids (Eth) would
+    // otherwise drag the end-to-end distribution down. Ordered maps
+    // keep iteration deterministic.
+    std::map<TraceId, double> totals;
+    std::set<TraceId> complete;
+    for (const NodeTrace &node : _nodes) {
+        // Begin/end edges of one span always land in the same buffer.
+        std::map<std::pair<TraceId, int>, Tick> open;
+        for (const SpanEvent &ev : node.events) {
+            int stage = static_cast<int>(ev.stage);
+            auto key = std::make_pair(ev.id, stage);
+            if (ev.kind == SpanEvent::Kind::Begin) {
+                open[key] = ev.tick;
+                continue;
+            }
+            auto it = open.find(key);
+            if (it == open.end())
+                continue; // orphan end (begin predates collection)
+            double ns = toNs(ev.tick - it->second);
+            open.erase(it);
+            attr.stageNs[static_cast<std::size_t>(stage)].add(ns);
+            totals[ev.id] += ns;
+            if (ev.stage == Stage::HostSerdesUp)
+                complete.insert(ev.id);
+        }
+    }
+    for (const auto &[id, ns] : totals)
+        if (complete.count(id))
+            attr.totalNs.add(ns);
+    return attr;
+}
+
+} // namespace tf::sim::trace

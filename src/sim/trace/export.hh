@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace export: Perfetto JSON and latency attribution.
+ *
+ * A TraceCollector gathers the span events of many TraceBuffers (one
+ * per node / logical process) into named node streams. Collection
+ * order defines the Perfetto pid of each node, so callers collect in
+ * a deterministic order (point index, LP index); with that, the
+ * exported document is byte-identical for any --jobs count — the
+ * same property the bench harness guarantees for its stats JSON.
+ *
+ * Two consumers share the collected streams:
+ *  - writeJson(): Chrome/Perfetto trace-event JSON, one pid per
+ *    node, one tid per stage, async "b"/"e" span pairs per
+ *    transaction, globally sorted by (tick, node, append order);
+ *  - attribution(): per-stage duration sketches (ns) from pairing
+ *    each node's begin/end edges, plus a per-trace total, feeding
+ *    the trace.attr.* metrics of the tf-bench-v1 document.
+ */
+
+#ifndef TF_SIM_TRACE_EXPORT_HH
+#define TF_SIM_TRACE_EXPORT_HH
+
+#include <array>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/trace/buffer.hh"
+#include "sim/trace/span.hh"
+
+namespace tf::sim::trace {
+
+/** One node's span-event stream, in append order. */
+struct NodeTrace
+{
+    std::string name;
+    std::vector<SpanEvent> events;
+};
+
+/**
+ * Per-stage duration sketches plus the per-trace stage-duration sum.
+ * Sketches merge bucket-wise (QuantileSketch::merge), so sharded
+ * collection reduces to the unsharded result.
+ */
+struct Attribution
+{
+    std::array<QuantileSketch, kStageCount> stageNs;
+    /** Sum of stage durations per complete trace (ns). */
+    QuantileSketch totalNs;
+};
+
+/**
+ * Emit @p nodes as one trace-event JSON document. @p reason, when
+ * non-null, lands in otherData (the flight dump records the panic
+ * message there). Timestamps are microseconds with six decimals, so
+ * picosecond ticks survive the format exactly.
+ */
+void writeTraceEventsJson(std::ostream &os,
+                          const std::vector<NodeTrace> &nodes,
+                          const char *reason);
+
+class TraceCollector
+{
+  public:
+    /** Snapshot @p buffer as the next node stream. */
+    void addBuffer(const TraceBuffer &buffer, std::string node);
+
+    /** Append @p other's node streams after this collector's. */
+    void adopt(TraceCollector &&other);
+
+    bool empty() const { return _nodes.empty(); }
+    std::size_t nodeCount() const { return _nodes.size(); }
+    const std::vector<NodeTrace> &nodes() const { return _nodes; }
+
+    /** Perfetto/Chrome trace-event JSON for the collected streams. */
+    void writeJson(std::ostream &os) const;
+
+    /** Pair up spans and attribute durations per stage. */
+    Attribution attribution() const;
+
+  private:
+    std::vector<NodeTrace> _nodes;
+};
+
+} // namespace tf::sim::trace
+
+#endif // TF_SIM_TRACE_EXPORT_HH

@@ -19,6 +19,11 @@ ComputeEndpoint::ComputeEndpoint(std::string name, sim::EventQueue &eq,
       _hostSerdesUp(this->name() + ".hostSerdesUp", eq,
                     {params.serdesLatency, params.hostLinkBps})
 {
+    _hostSerdesDown.setTraceStage(sim::trace::Stage::HostSerdesDown);
+    _stackDown.setTraceStage(sim::trace::Stage::StackDown);
+    _stackUp.setTraceStage(sim::trace::Stage::StackUp);
+    _hostSerdesUp.setTraceStage(sim::trace::Stage::HostSerdesUp);
+
     _hostSerdesDown.connect(
         [this](mem::TxnPtr txn) { _stackDown.push(std::move(txn)); });
     _stackDown.connect(
@@ -43,6 +48,10 @@ ComputeEndpoint::issue(mem::TxnPtr txn)
     TF_ASSERT(_window.contains(txn->addr, txn->size),
               "address outside the endpoint's M1 window");
     txn->issued = now();
+    auto &tb = eventQueue().trace();
+    txn->traceId = tb.newTrace();
+    tb.begin(now(), txn->traceId, sim::trace::Stage::TagQueue,
+             static_cast<std::uint32_t>(_waitQueue.size()));
     if (_outstanding.size() >= _params.maxTags) {
         _tagStalls.inc();
         _waitQueue.push_back(std::move(txn));
@@ -56,6 +65,8 @@ ComputeEndpoint::admit(mem::TxnPtr txn)
 {
     _issued.inc();
     _outstanding[txn->id] = txn;
+    eventQueue().trace().end(now(), txn->traceId,
+                             sim::trace::Stage::TagQueue);
     _hostSerdesDown.push(std::move(txn));
 }
 
@@ -66,14 +77,19 @@ ComputeEndpoint::routeAndSend(mem::TxnPtr txn)
     txn->addr = _window.toInternal(txn->addr);
     txn->origAddr = txn->addr;
 
+    auto &tb = eventQueue().trace();
+    tb.begin(now(), txn->traceId, sim::trace::Stage::Rmmu);
     bool ok = _rmmu.translate(*txn);
+    tb.end(now(), txn->traceId, sim::trace::Stage::Rmmu);
     _xlatNs.add(sim::toNs(now() - txn->issued));
     if (!ok) {
         failFast(std::move(txn));
         return;
     }
 
+    tb.begin(now(), txn->traceId, sim::trace::Stage::Route);
     int ch = _routing.route(*txn);
+    tb.end(now(), txn->traceId, sim::trace::Stage::Route);
     if (ch < 0) {
         failFast(std::move(txn));
         return;

@@ -149,6 +149,15 @@ LlcTx::enqueue(mem::TxnPtr txn)
         _onDeadLetter(std::move(txn));
         return;
     }
+    // The channel span covers queueing, framing, the wire, and any
+    // go-back-N replay rounds; it closes when the Rx hands the
+    // transaction to its sink (delivery is exactly-once: replay
+    // overshoot duplicates are discarded by sequence number).
+    eventQueue().trace().begin(now(), txn->traceId,
+                               mem::isRequest(txn->type)
+                                   ? sim::trace::Stage::LlcReq
+                                   : sim::trace::Stage::LlcResp,
+                               static_cast<std::uint32_t>(_queue.size()));
     _queue.push_back(std::move(txn));
     // Assemble on a deferred kick so same-tick arrivals pack into one
     // frame, matching hardware where the frame fills as flits arrive.
@@ -437,6 +446,13 @@ LlcTx::takeUndelivered()
     for (auto &txn : _queue)
         out.push_back(std::move(txn));
     _queue.clear();
+    // Salvaged transactions leave this channel for good: close their
+    // channel spans here so traces stay balanced across failover.
+    for (auto &txn : out)
+        eventQueue().trace().end(now(), txn->traceId,
+                                 mem::isRequest(txn->type)
+                                     ? sim::trace::Stage::LlcReq
+                                     : sim::trace::Stage::LlcResp);
     _replayPending = false;
     disarmTimer();
     return out;
@@ -560,8 +576,13 @@ LlcRx::onFrame(FramePtr frame)
     _replayPendingFor = false;
     _delivered.inc();
     _txnsDelivered.inc(frame->txns.size());
-    for (auto &txn : frame->txns)
+    for (auto &txn : frame->txns) {
+        eventQueue().trace().end(now(), txn->traceId,
+                                 mem::isRequest(txn->type)
+                                     ? sim::trace::Stage::LlcReq
+                                     : sim::trace::Stage::LlcResp);
         _sink(std::move(txn));
+    }
     after(_params.rxDrainLatency, [this]() { returnCredit(true); });
 }
 

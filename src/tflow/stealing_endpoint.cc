@@ -17,6 +17,11 @@ StealingEndpoint::StealingEndpoint(std::string name, sim::EventQueue &eq,
       _stackUp(this->name() + ".stackUp", eq,
                {params.fpgaStackLatency, 0})
 {
+    _stackDown.setTraceStage(sim::trace::Stage::DonorStackDown);
+    _serdesDown.setTraceStage(sim::trace::Stage::DonorSerdesDown);
+    _serdesUp.setTraceStage(sim::trace::Stage::DonorSerdesUp);
+    _stackUp.setTraceStage(sim::trace::Stage::DonorStackUp);
+
     _stackDown.connect(
         [this](mem::TxnPtr txn) { _serdesDown.push(std::move(txn)); });
     _serdesDown.connect(

@@ -64,6 +64,49 @@ TEST(QuantileSketch, HandlesZeroAndResets)
     EXPECT_DOUBLE_EQ(q.quantile(0.5), 0.0);
 }
 
+TEST(QuantileSketch, ShardedMergeMatchesUnsharded)
+{
+    // Buckets share a fixed global layout, so a merge of N shards is
+    // bucket-exact against the unsharded sketch: every quantile and
+    // every counter agrees, with zero drift -- the --jobs trace
+    // attribution merge relies on this.
+    constexpr int kShards = 7;
+    sim::QuantileSketch whole;
+    sim::QuantileSketch shards[kShards];
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < 20000; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        // Wide dynamic range incl. zeros: exercises every bucket path.
+        double v = static_cast<double>(state >> 40) / 256.0;
+        if (i % 97 == 0)
+            v = 0.0;
+        whole.add(v);
+        shards[i % kShards].add(v);
+    }
+
+    sim::QuantileSketch merged;
+    for (const auto &shard : shards)
+        merged.merge(shard);
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    EXPECT_NEAR(merged.mean(), whole.mean(),
+                std::abs(whole.mean()) * 1e-12);
+    for (double p : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95,
+                     0.99, 0.999, 1.0})
+        EXPECT_DOUBLE_EQ(merged.quantile(p), whole.quantile(p))
+            << "quantile drift at p=" << p;
+
+    // Merging into a non-empty sketch and merging empties both work.
+    sim::QuantileSketch empty;
+    merged.merge(empty);
+    EXPECT_EQ(merged.count(), whole.count());
+    empty.merge(whole);
+    EXPECT_EQ(empty.count(), whole.count());
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), whole.quantile(0.5));
+}
+
 // -------------------------------------------- JsonWriter
 
 TEST(JsonWriter, DeterministicFormatting)
