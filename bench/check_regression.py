@@ -28,7 +28,8 @@ import sys
 
 LOWER_IS_BETTER_HINTS = (
     "Us", "Ns", "latency", "replay", "stall", "drop", "teardown",
-    "HighWater", "Compactions", "Cancelled",
+    "HighWater", "Compactions", "Cancelled", "recovery", "error",
+    "timedOut",
 )
 
 

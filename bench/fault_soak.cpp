@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Chaos soak: seeded deterministic FaultPlans (channel flaps,
+ * Gilbert-Elliott burst loss, latency spikes, DRAM stalls, credit
+ * starvation, control-plane outages) injected into the
+ * bonding-disaggregated testbed while a closed-loop workload writes
+ * and reads back donor memory.
+ *
+ * Invariant-checked on every run: no transaction is lost or hangs
+ * (the request deadline bounds the tail), settled bytes read back
+ * correct, and the path recovers within a bounded sweep once the
+ * plan drains. Same seed + same --jobs reproduces the run
+ * byte-for-byte.
+ *
+ * Thin wrapper over the tf_bench scenario of the same name; emits
+ * BENCH_fault_soak.json (see harness.hh for the schema).
+ */
+
+#include "harness.hh"
+
+int
+main(int argc, char **argv)
+{
+    return tf::bench::scenarioMain("fault_soak", argc, argv);
+}

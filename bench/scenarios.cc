@@ -408,6 +408,14 @@ runFig07Ycsb(ScenarioContext &ctx)
                 std::string(apps::ycsbName(pt.workload)) + "." +
                 std::to_string(pt.partitions) + "p." +
                 sys::setupName(pt.setup);
+            // Scale-out points run client/server traffic over the
+            // Ethernet model, so collecting here puts Stage::Eth
+            // spans into the Perfetto export alongside the datapath.
+            if (sub.traceEnabled()) {
+                bed.eq->trace().setFull(true);
+                bed.eq->trace().setIdTag(
+                    static_cast<std::uint32_t>(i) + 1);
+            }
             bed.testbed->registerStats(sub.registry(), point);
             apps::VoltDbParams vp;
             vp.workload = pt.workload;
@@ -421,6 +429,8 @@ runFig07Ycsb(ScenarioContext &ctx)
             if (pt.latencyPoint)
                 sub.latencyUs(point + ".", r.latencyUs);
             sub.addRun(*bed.eq);
+            if (sub.traceEnabled())
+                sub.collectTrace(*bed.eq, point);
             sub.registry().freezeAll();
         });
 }
@@ -508,6 +518,11 @@ runFig09Elastic(ScenarioContext &ctx)
                     apps::esChallengeName(cell.point.challenge)) +
                 "." + std::to_string(cell.shards) + "s." +
                 sys::setupName(cell.setup);
+            if (sub.traceEnabled()) {
+                bed.eq->trace().setFull(true);
+                bed.eq->trace().setIdTag(
+                    static_cast<std::uint32_t>(i) + 1);
+            }
             bed.testbed->registerStats(sub.registry(), point);
             apps::ElasticParams ep;
             ep.challenge = cell.point.challenge;
@@ -523,6 +538,8 @@ runFig09Elastic(ScenarioContext &ctx)
                 cell.shards == shardCounts.front())
                 sub.latencyUs(point + ".", r.latencyUs);
             sub.addRun(*bed.eq);
+            if (sub.traceEnabled())
+                sub.collectTrace(*bed.eq, point);
             sub.registry().freezeAll();
         });
 }
@@ -649,6 +666,253 @@ runParallelScale(ScenarioContext &ctx)
     ctx.metric("speedup", serial.secs / parallel.secs);
 }
 
+// --------------------------- fault_soak -----------------------------
+
+/**
+ * Chaos soak: a bonding-disaggregated testbed under a deterministic
+ * FaultPlan while a closed-loop workload writes and reads back donor
+ * memory through the datapath. Point 0 runs a scripted schedule that
+ * hits every transient fault kind; the remaining points run
+ * Plan::randomized soaks with per-point seeds. Invariants,
+ * TF_ASSERT-enforced on every run:
+ *
+ *  - every transaction completes exactly once — ok or error, none
+ *    lost, no hang (the request deadline bounds the tail);
+ *  - every read of a line whose writes all settled Ok returns the
+ *    bytes of the last such write (a line with an error-completed
+ *    write is tainted: at-least-once failover may still apply the
+ *    write later, so its content is legitimately ambiguous);
+ *  - after the plan drains, a verification sweep over the surviving
+ *    allocation completes error-free in bounded time.
+ */
+void
+faultSoakPoint(ScenarioContext &sub, std::size_t point, int totalOps)
+{
+    const sim::Tick deadline = sim::microseconds(400);
+    const sim::Tick horizon = sim::microseconds(300);
+    const std::string prefix = "p" + std::to_string(point);
+
+    auto eq = std::make_unique<sim::EventQueue>();
+    sys::TestbedParams tp;
+    tp.setup = sys::Setup::BondingDisaggregated;
+    tp.donatedBytes = 64ULL * 1024 * 1024;
+    tp.node.cache = mem::CacheParams{4ULL * 1024 * 1024, 8, 128};
+    tp.seed = sub.seed();
+    tp.flow.requestDeadline = deadline;
+    // Escalate quickly (4 x 5 us of ack silence = link down) so the
+    // scripted flaps walk the whole repair ladder inside the soak's
+    // few-hundred-microsecond horizon.
+    tp.flow.ackTimeout = sim::microseconds(5);
+    tp.flow.maxReplayRounds = 4;
+    auto bed = std::make_unique<sys::Testbed>(*eq, tp);
+    bed->controlPlane().setHoldDown(*eq, sim::microseconds(5),
+                                    sim::microseconds(80));
+    if (sub.traceEnabled()) {
+        eq->trace().setFull(true);
+        eq->trace().setIdTag(static_cast<std::uint32_t>(point) + 1);
+    }
+
+    sim::fault::Registry reg;
+    bed->registerFaultPoints(reg);
+    sim::fault::Engine engine(*eq, reg);
+    sim::fault::Plan plan;
+    if (point == 0) {
+        sim::fault::GilbertElliott ge;
+        ge.pGoodBad = 0.05;
+        ge.pBadGood = 0.3;
+        ge.errGood = 0.0005;
+        ge.errBad = 0.5;
+        // The first flap outlives the escalation threshold, so it
+        // walks the full ladder: link down -> salvage -> degrade ->
+        // auto-recover -> hold-down -> readmit -> regrow.
+        plan.flap(sim::microseconds(40), "tflow.ch0",
+                  sim::microseconds(80))
+            .burst(sim::microseconds(90), "tflow.ch1.wire",
+                   sim::microseconds(30), ge)
+            .starve(sim::microseconds(130), "tflow.ch0.credits",
+                    sim::microseconds(15))
+            .stall(sim::microseconds(160), "serverB.dram",
+                   sim::microseconds(10))
+            .spike(sim::microseconds(180), "net.serverA->serverB",
+                   sim::microseconds(40), sim::microseconds(3))
+            .outage(sim::microseconds(200), "ctrl",
+                    sim::microseconds(40))
+            // Flap inside the outage window: the link-down lands
+            // while the plane is out, is deferred, and is replayed
+            // when the outage lifts.
+            .flap(sim::microseconds(205), "tflow.ch1",
+                  sim::microseconds(40));
+    } else {
+        plan = sim::fault::Plan::randomized(
+            sub.seed() * 1000 + point, horizon, reg, 10);
+    }
+    engine.arm(plan);
+
+    bed->registerStats(sub.registry(), prefix);
+    engine.attachStats(sub.registry().at(prefix + ".fault"));
+    eq->attachStats(sub.registry().at(prefix + ".eq"));
+
+    const mem::Addr base =
+        bed->serverA().datapath()->compute().window().base;
+    const std::uint64_t lines = 256;
+
+    std::vector<std::uint8_t> expected(lines, 0);
+    std::vector<bool> valid(lines, false);
+    std::vector<bool> tainted(lines, false);
+    std::vector<bool> busy(lines, false);
+    sim::Rng wrng(sub.seed() ^ (0x9e3779b97f4a7c15ULL *
+                                (point + 1)));
+
+    std::uint64_t launched = 0, completed = 0, okN = 0, errN = 0,
+                  timedOutN = 0, byteErrors = 0;
+    int inflight = 0;
+    const int window = 48;
+
+    std::function<void()> issueOne = [&]() {
+        // One outstanding transaction per line: bonded routing can
+        // reorder same-address writes across channels, which would
+        // make "expected" ambiguous without this.
+        std::uint64_t line = wrng.below(lines);
+        while (busy[line])
+            line = wrng.below(lines);
+        busy[line] = true;
+        bool write = wrng.chance(0.5);
+        mem::Addr addr = base + line * mem::cachelineBytes;
+        auto txn = mem::makeTxn(write ? mem::TxnType::WriteReq
+                                      : mem::TxnType::ReadReq,
+                                addr);
+        std::uint8_t pat = static_cast<std::uint8_t>(
+            (launched * 37 + line) & 0xff);
+        if (write)
+            txn->data.assign(mem::cachelineBytes, pat);
+        ++launched;
+        ++inflight;
+        txn->onComplete = [&, line, write, pat](mem::MemTxn &t) {
+            ++completed;
+            --inflight;
+            busy[line] = false;
+            if (t.status == mem::TxnStatus::Ok) {
+                ++okN;
+                if (write) {
+                    expected[line] = pat;
+                    valid[line] = true;
+                } else if (valid[line] && !tainted[line]) {
+                    for (std::uint8_t b : t.data)
+                        if (b != expected[line]) {
+                            ++byteErrors;
+                            break;
+                        }
+                }
+            } else {
+                if (t.status == mem::TxnStatus::TimedOut)
+                    ++timedOutN;
+                else
+                    ++errN;
+                if (write)
+                    tainted[line] = true;
+            }
+            if (launched < static_cast<std::uint64_t>(totalOps))
+                issueOne();
+        };
+        bed->serverA().issue(std::move(txn));
+    };
+    for (int i = 0; i < window && i < totalOps; ++i)
+        issueOne();
+    eq->run();
+
+    TF_ASSERT(completed == launched && inflight == 0,
+              "soak lost transactions: %llu launched, %llu completed",
+              static_cast<unsigned long long>(launched),
+              static_cast<unsigned long long>(completed));
+    TF_ASSERT(byteErrors == 0,
+              "soak read back %llu corrupted lines",
+              static_cast<unsigned long long>(byteErrors));
+
+    // Recovery proof: with the plan drained and every transient fault
+    // healed, a sweep over the settled lines must complete error-free
+    // — unless the plan legitimately killed the allocation (both
+    // channels down at once tears the flow down, scripted plans
+    // don't, randomized ones may).
+    bool allocAlive =
+        bed->controlPlane().allocation(bed->allocationId()) != nullptr;
+    std::uint64_t sweepErrors = 0, sweepBad = 0;
+    sim::Tick sweepStart = eq->now();
+    // Last sweep-read completion; eq->now() after run() would also
+    // count the deadline sweeper's trailing (idle) timer event.
+    sim::Tick sweepEnd = sweepStart;
+    if (allocAlive) {
+        std::uint64_t swept = 0;
+        std::function<void(std::uint64_t)> sweep =
+            [&](std::uint64_t line) {
+                if (line >= lines)
+                    return;
+                if (!valid[line] || tainted[line]) {
+                    sweep(line + 1);
+                    return;
+                }
+                auto txn = mem::makeTxn(mem::TxnType::ReadReq,
+                                        base +
+                                            line * mem::cachelineBytes);
+                txn->onComplete = [&, line](mem::MemTxn &t) {
+                    ++swept;
+                    sweepEnd = eq->now();
+                    if (t.status != mem::TxnStatus::Ok) {
+                        ++sweepErrors;
+                    } else {
+                        for (std::uint8_t b : t.data)
+                            if (b != expected[line]) {
+                                ++sweepBad;
+                                break;
+                            }
+                    }
+                    sweep(line + 1);
+                };
+                bed->serverA().issue(std::move(txn));
+            };
+        sweep(0);
+        eq->run();
+        TF_ASSERT(sweepErrors == 0 && sweepBad == 0,
+                  "post-recovery sweep: %llu errors, %llu bad lines",
+                  static_cast<unsigned long long>(sweepErrors),
+                  static_cast<unsigned long long>(sweepBad));
+        // Bounded recovery: the sweep is sequential, so each read is
+        // bounded by the deadline sweeper's worst case (1.5x).
+        TF_ASSERT(sweepEnd - sweepStart <= (swept + 1) * deadline * 2,
+                  "post-recovery sweep exceeded its latency bound");
+    }
+
+    sub.metric(prefix + ".txns", static_cast<double>(launched),
+               "txns");
+    sub.metric(prefix + ".txnsOk", static_cast<double>(okN), "txns");
+    sub.metric(prefix + ".errorCompletions",
+               static_cast<double>(errN), "txns");
+    sub.metric(prefix + ".timedOut", static_cast<double>(timedOutN),
+               "txns");
+    sub.metric(prefix + ".faultsFired",
+               static_cast<double>(engine.fired()), "events");
+    sub.metric(prefix + ".recoveryUs",
+               allocAlive ? sim::toUs(sweepEnd - sweepStart) : 0.0,
+               "us");
+    sub.metric(prefix + ".allocAlive", allocAlive ? 1.0 : 0.0);
+    sub.addRun(*eq);
+    if (sub.traceEnabled())
+        sub.collectTrace(*eq, prefix);
+    sub.registry().freezeAll();
+}
+
+void
+runFaultSoak(ScenarioContext &ctx)
+{
+    // Sized so the closed loop is still running when the last plan
+    // event fires (~300 us at ~30 txns/us), faults hit live traffic.
+    const int totalOps = ctx.smoke() ? 9000 : 36000;
+    const std::size_t pointCount = ctx.smoke() ? 3 : 6;
+    ctx.runPoints(pointCount,
+                  [&](ScenarioContext &sub, std::size_t i) {
+                      faultSoakPoint(sub, i, totalOps);
+                  });
+}
+
 } // namespace
 
 const std::vector<Scenario> &
@@ -679,6 +943,10 @@ scenarios()
          "Parallel engine: 8-rack trace replay, serial vs threaded "
          "(identical results, events/s speedup)",
          true, runParallelScale},
+        {"fault_soak",
+         "Chaos soak: seeded FaultPlans against the bonded testbed "
+         "with invariant-checked recovery",
+         true, runFaultSoak},
     };
     return table;
 }

@@ -222,16 +222,106 @@ ControlPlane::deallocate(const std::string &userToken, std::uint64_t id)
 }
 
 void
+ControlPlane::setHoldDown(sim::EventQueue &eq, sim::Tick base,
+                          sim::Tick max)
+{
+    _eq = &eq;
+    _holdDownBase = base;
+    _holdDownMax = std::max(base, max);
+}
+
+void
+ControlPlane::controlOutage(sim::Tick duration)
+{
+    if (_eq == nullptr || duration == 0)
+        return;
+    _outages.inc();
+    _outageUntil = std::max(_outageUntil, _eq->now() + duration);
+    _eq->scheduleIn(duration, [this]() {
+        if (_outageUntil > _eq->now())
+            return; // a later outage extended the window
+        // Catch up on everything that happened while we were away,
+        // in arrival order.
+        auto deferred = std::move(_deferred);
+        _deferred.clear();
+        for (const auto &[dp, ch, down] : deferred)
+            processLinkEvent(dp, ch, down);
+    });
+}
+
+void
+ControlPlane::registerFaultPoints(sim::fault::Registry &reg,
+                                  const std::string &name)
+{
+    reg.add(name, sim::fault::kindBit(sim::fault::Kind::ControlOutage),
+            [this](const sim::fault::Event &ev) {
+                controlOutage(ev.duration);
+            });
+}
+
+void
 ControlPlane::onLinkEvent(std::size_t dpIndex, std::size_t channel,
                           bool down)
 {
     TF_ASSERT(dpIndex < _datapaths.size(), "link event from unknown dp");
-    const DatapathInfo &dpi = _datapaths[dpIndex];
-    TF_ASSERT(channel < dpi.channelEdges.size(),
+    TF_ASSERT(channel < _datapaths[dpIndex].channelEdges.size(),
               "link event for unknown channel");
+    if (_eq != nullptr && _outageUntil > _eq->now()) {
+        // Control-plane outage: the event is noted but not acted on
+        // until the plane comes back. The datapath has already masked
+        // its own routing, so traffic safety does not depend on us.
+        _deferredEvents.inc();
+        _deferred.emplace_back(dpIndex, channel, down);
+        return;
+    }
+    processLinkEvent(dpIndex, channel, down);
+}
+
+void
+ControlPlane::processLinkEvent(std::size_t dpIndex, std::size_t channel,
+                               bool down)
+{
+    const DatapathInfo &dpi = _datapaths[dpIndex];
+    ChannelHealth &health = _chHealth[{dpIndex, channel}];
+
+    if (!down) {
+        if (_holdDownBase == 0 || _eq == nullptr) {
+            // Legacy behaviour: re-admit synchronously.
+            health.flapCount = 0;
+            readmitChannel(dpIndex, channel);
+            return;
+        }
+        // Hold-down: quarantine the returning channel with bounded
+        // exponential backoff before trusting it again.
+        std::uint32_t flaps = health.flapCount > 0
+                                  ? health.flapCount - 1
+                                  : 0;
+        sim::Tick delay = _holdDownBase
+                          << std::min<std::uint32_t>(flaps, 20);
+        delay = std::min(delay, _holdDownMax);
+        _holdDowns.inc();
+        if (health.readmit != sim::EventQueue::invalidEvent)
+            _eq->deschedule(health.readmit);
+        health.readmit =
+            _eq->scheduleIn(delay, [this, dpIndex, channel]() {
+                ChannelHealth &h = _chHealth[{dpIndex, channel}];
+                h.readmit = sim::EventQueue::invalidEvent;
+                h.flapCount = 0; // survived the quarantine
+                readmitChannel(dpIndex, channel);
+            });
+        return;
+    }
+
+    // Channel down. A pending re-admission is moot now; cancelling it
+    // is what keeps a flap storm from double-counting regrows.
+    ++health.flapCount;
+    if (health.readmit != sim::EventQueue::invalidEvent) {
+        _eq->deschedule(health.readmit);
+        health.readmit = sim::EventQueue::invalidEvent;
+    }
 
     // i) state maintenance: reflect the link health in the graph.
-    _graph.setEdgeUp(dpi.channelEdges[channel], !down);
+    _graph.setEdgeUp(dpi.channelEdges[channel], false);
 
     // ii) repair every allocation riding this datapath. Collect ids
     // first: a teardown erases from _allocations mid-iteration.
@@ -244,10 +334,26 @@ ControlPlane::onLinkEvent(std::size_t dpIndex, std::size_t channel,
         auto it = _allocations.find(id);
         if (it == _allocations.end())
             continue;
-        if (down)
-            repairAllocation(it->second, dpi, channel);
-        else
-            growAllocation(it->second, dpi);
+        repairAllocation(it->second, dpi, channel);
+    }
+}
+
+void
+ControlPlane::readmitChannel(std::size_t dpIndex, std::size_t channel)
+{
+    const DatapathInfo &dpi = _datapaths[dpIndex];
+    _graph.setEdgeUp(dpi.channelEdges[channel], true);
+
+    std::vector<std::uint64_t> affected;
+    for (const auto &[id, rec] : _allocations)
+        if (rec.datapath == dpi.datapath)
+            affected.push_back(id);
+
+    for (std::uint64_t id : affected) {
+        auto it = _allocations.find(id);
+        if (it == _allocations.end())
+            continue;
+        growAllocation(it->second, dpi);
     }
 }
 
@@ -386,6 +492,12 @@ ControlPlane::attachStats(sim::StatSet &set)
                "allocations torn down after losing every channel");
     set.attach("regrows", _regrows, "events",
                "allocations regrown to wanted width after recovery");
+    set.attach("holdDowns", _holdDowns, "events",
+               "channel re-admissions delayed by the hold-down");
+    set.attach("outages", _outages, "events",
+               "injected control-plane outages");
+    set.attach("deferredLinkEvents", _deferredEvents, "events",
+               "link events deferred by control-plane outages");
 }
 
 const AllocationRecord *

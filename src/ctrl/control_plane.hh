@@ -20,10 +20,14 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "agent/agent.hh"
 #include "ctrl/graph.hh"
+#include "sim/event_queue.hh"
+#include "sim/fault/fault.hh"
 #include "sim/stats.hh"
 
 namespace tf::ctrl {
@@ -102,6 +106,30 @@ class ControlPlane
 
     // ------------------------ failure repair ------------------------
 
+    /**
+     * Enable hold-down for flapping channels: a channel reporting
+     * back up is only re-admitted (edge up + allocations regrown)
+     * after a quarantine of base << (flaps - 1), capped at @p max.
+     * A re-flap during the quarantine cancels the pending
+     * re-admission and doubles the next one, so a flap storm costs
+     * one repair per down instead of a repair/regrow pair per cycle.
+     * base = 0 (the default, no event queue bound) keeps the legacy
+     * behaviour: synchronous re-admission on the up event.
+     */
+    void setHoldDown(sim::EventQueue &eq, sim::Tick base, sim::Tick max);
+
+    /**
+     * Fault injection: control-plane outage. Link events arriving in
+     * the next @p duration ticks are deferred (FIFO) and processed
+     * when the outage lifts. Requires setHoldDown's event queue; a
+     * plane with no queue bound ignores the outage.
+     */
+    void controlOutage(sim::Tick duration);
+
+    /** Register the "<name>" ControlOutage fault point. */
+    void registerFaultPoints(sim::fault::Registry &reg,
+                             const std::string &name);
+
     /** Successful path repairs (replacement channel found + pushed). */
     std::uint64_t repairs() const { return _repairs.value(); }
     /** Allocations degraded to fewer channels (no spare capacity). */
@@ -110,6 +138,13 @@ class ControlPlane
     std::uint64_t teardowns() const { return _teardowns.value(); }
     /** Allocations regrown to their wanted width after recovery. */
     std::uint64_t regrows() const { return _regrows.value(); }
+    /** Channel re-admissions delayed by the hold-down. */
+    std::uint64_t holdDowns() const { return _holdDowns.value(); }
+    /** Link events deferred by control-plane outages. */
+    std::uint64_t deferredLinkEvents() const
+    {
+        return _deferredEvents.value();
+    }
 
     /** Attach the repair-ladder outcome counters for telemetry. */
     void attachStats(sim::StatSet &set);
@@ -164,11 +199,34 @@ class ControlPlane
     sim::Counter _degrades;
     sim::Counter _teardowns;
     sim::Counter _regrows;
+    sim::Counter _holdDowns;
+    sim::Counter _outages;
+    sim::Counter _deferredEvents;
+
+    /** Per-(datapath, channel) flap-tracking state for the hold-down. */
+    struct ChannelHealth
+    {
+        std::uint32_t flapCount = 0;
+        sim::EventQueue::EventId readmit =
+            sim::EventQueue::invalidEvent;
+    };
+
+    sim::EventQueue *_eq = nullptr;
+    sim::Tick _holdDownBase = 0;
+    sim::Tick _holdDownMax = 0;
+    std::map<std::pair<std::size_t, std::size_t>, ChannelHealth>
+        _chHealth;
+    /** Outage window end; link events before it are deferred. */
+    sim::Tick _outageUntil = 0;
+    std::vector<std::tuple<std::size_t, std::size_t, bool>> _deferred;
 
     DatapathInfo *findDatapath(const std::string &computeHost,
                                const std::string &donorHost);
     void onLinkEvent(std::size_t dpIndex, std::size_t channel,
                      bool down);
+    void processLinkEvent(std::size_t dpIndex, std::size_t channel,
+                          bool down);
+    void readmitChannel(std::size_t dpIndex, std::size_t channel);
     void repairAllocation(AllocationRecord &rec,
                           const DatapathInfo &dpi, std::size_t channel);
     void growAllocation(AllocationRecord &rec, const DatapathInfo &dpi);

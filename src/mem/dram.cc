@@ -63,6 +63,13 @@ Dram::access(TxnPtr txn, DoneFn done)
 }
 
 void
+Dram::stall(sim::Tick duration)
+{
+    _nextFree = std::max(_nextFree, now() + duration);
+    _stalls.inc();
+}
+
+void
 Dram::reportStats(sim::StatSet &out) const
 {
     out.record("reads", static_cast<double>(_reads.value()), "txns");
@@ -76,6 +83,8 @@ Dram::attachStats(sim::StatSet &set)
     set.attach("reads", _reads, "txns");
     set.attach("writes", _writes, "txns");
     set.attach("bytes", _bytes, "bytes");
+    set.attach("serviceStalls", _stalls, "events",
+               "injected service-stall windows");
 }
 
 } // namespace tf::mem

@@ -53,6 +53,16 @@ class Dram : public sim::SimObject
     /** Latency the next request would see if issued now (queue + access). */
     sim::Tick estimatedLatency(std::uint32_t bytes) const;
 
+    /**
+     * Fault injection: the channel services nothing for the next
+     * @p duration ticks (refresh storm / thermal throttle). New
+     * arrivals queue behind the stall on the next-free-time cursor;
+     * accesses already in flight complete normally. Nothing is lost.
+     */
+    void stall(sim::Tick duration);
+
+    std::uint64_t stalls() const { return _stalls.value(); }
+
     const DramParams &params() const { return _params; }
 
     std::uint64_t reads() const { return _reads.value(); }
@@ -71,6 +81,7 @@ class Dram : public sim::SimObject
     sim::Counter _reads;
     sim::Counter _writes;
     sim::Counter _bytes;
+    sim::Counter _stalls;
 
     sim::Tick serializationDelay(std::uint32_t bytes) const;
 };

@@ -20,6 +20,8 @@ MemTxn::makeResponse()
 void
 MemTxn::complete()
 {
+    if (status == TxnStatus::Pending)
+        status = error ? TxnStatus::Error : TxnStatus::Ok;
     if (onComplete) {
         auto cb = std::move(onComplete);
         onComplete = nullptr;

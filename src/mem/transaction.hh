@@ -53,6 +53,31 @@ struct MemTxn;
 using TxnPtr = std::shared_ptr<MemTxn>;
 
 /**
+ * Final disposition of a transaction, settled exactly once when the
+ * requester's completion fires. Pending means the completion has not
+ * run yet; every other state is terminal.
+ */
+enum class TxnStatus : std::uint8_t {
+    Pending = 0, ///< still in flight
+    Ok,          ///< completed successfully
+    Error,       ///< error-completed (RMMU fault, abort, unroutable)
+    TimedOut,    ///< error-completed by the request deadline
+};
+
+/** Stable status name for logs and stats keys. */
+constexpr const char *
+statusName(TxnStatus s)
+{
+    switch (s) {
+      case TxnStatus::Pending:  return "pending";
+      case TxnStatus::Ok:       return "ok";
+      case TxnStatus::Error:    return "error";
+      case TxnStatus::TimedOut: return "timedOut";
+    }
+    return "unknown";
+}
+
+/**
  * One in-flight memory transaction.
  *
  * The address field is rewritten as the transaction moves through the
@@ -78,6 +103,13 @@ struct MemTxn
 
     /** Set when the access failed (RMMU fault, C1 authorisation). */
     bool error = false;
+
+    /**
+     * Completion status, settled by complete() from the error flag
+     * (Error when set, Ok otherwise) unless a completer pre-set a
+     * terminal status (e.g. TimedOut). Never reverts once terminal.
+     */
+    TxnStatus status = TxnStatus::Pending;
 
     /** Issue time at the original requester, for latency stats. */
     sim::Tick issued = 0;

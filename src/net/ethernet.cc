@@ -17,7 +17,8 @@ EthLink::estimate(std::uint64_t bytes) const
     sim::Tick ser = sim::seconds(static_cast<double>(bytes) /
                                  _params.bandwidthBps);
     sim::Tick queue = _nextFree > now() ? _nextFree - now() : 0;
-    return queue + ser + _params.perMessageOverhead + _params.latency;
+    return queue + ser + _params.perMessageOverhead + _params.latency +
+           spikeNow();
 }
 
 void
@@ -30,7 +31,7 @@ EthLink::send(std::uint64_t bytes, sim::EventQueue::Callback delivered)
     _nextFree = start + ser;
     _messages.inc();
     _bytes.inc(bytes);
-    sim::Tick deliver = start + ser + _params.latency;
+    sim::Tick deliver = start + ser + _params.latency + spikeNow();
     // Control-plane messages carry no MemTxn, so each send gets its
     // own trace id. Both edges are recorded here on the source LP.
     auto &tb = eventQueue().trace();
@@ -58,10 +59,26 @@ EthLink::bindChannel(sim::par::LinkChannel *channel)
 }
 
 void
+EthLink::spike(sim::Tick extra, sim::Tick duration)
+{
+    _spikeExtra = std::max(_spikeExtra, extra);
+    _spikeUntil = std::max(_spikeUntil, now() + duration);
+    _spikes.inc();
+    // Reset the extra once the window closes so a later spike is not
+    // stuck with an old maximum.
+    after(duration, [this]() {
+        if (!spikeActive())
+            _spikeExtra = 0;
+    });
+}
+
+void
 EthLink::attachStats(sim::StatSet &set)
 {
     set.attach("messages", _messages, "msgs");
     set.attach("bytes", _bytes, "bytes");
+    set.attach("latencySpikes", _spikes, "events",
+               "injected latency-spike windows");
 }
 
 Network::Network(std::string name, sim::EventQueue &eq)
@@ -167,6 +184,22 @@ Network::registerStats(sim::StatsRegistry &reg, const std::string &prefix)
 {
     for (auto &kv : _links)
         kv.second->attachStats(reg.at(prefix + "." + kv.first));
+}
+
+void
+Network::registerFaultPoints(sim::fault::Registry &reg,
+                             const std::string &prefix)
+{
+    using sim::fault::Event;
+    using sim::fault::Kind;
+    using sim::fault::kindBit;
+    for (auto &kv : _links) {
+        EthLink *l = kv.second.get();
+        reg.add(prefix + "." + kv.first, kindBit(Kind::LatencySpike),
+                [l](const Event &ev) {
+                    l->spike(ev.extraLatency, ev.duration);
+                });
+    }
 }
 
 } // namespace tf::net

@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "sim/fault/fault.hh"
 #include "sim/parallel/engine.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
@@ -83,12 +84,34 @@ class EthLink : public sim::SimObject
     /** Queueing + serialisation + latency a message would see now. */
     sim::Tick estimate(std::uint64_t bytes) const;
 
+    /**
+     * Fault injection: add @p extra to the one-way latency of every
+     * message sent in the next @p duration ticks (congestion /
+     * misbehaving switch). Only *adds* latency, so a bound channel's
+     * lookahead floor stays valid. Overlapping spikes keep the larger
+     * extra and the later end.
+     */
+    void spike(sim::Tick extra, sim::Tick duration);
+
+    bool spikeActive() const { return _spikeUntil > now(); }
+
+    std::uint64_t spikes() const { return _spikes.value(); }
+
   private:
     EthParams _params;
     sim::par::LinkChannel *_channel = nullptr;
     sim::Tick _nextFree = 0;
+    sim::Tick _spikeExtra = 0;
+    sim::Tick _spikeUntil = 0;
     sim::Counter _messages;
     sim::Counter _bytes;
+    sim::Counter _spikes;
+
+    /** Latency spike in force for a message sent now (else 0). */
+    sim::Tick spikeNow() const
+    {
+        return now() < _spikeUntil ? _spikeExtra : 0;
+    }
 };
 
 /**
@@ -142,6 +165,13 @@ class Network
      */
     void registerStats(sim::StatsRegistry &reg,
                        const std::string &prefix);
+
+    /**
+     * Register a LatencySpike fault point per directed link as
+     * "<prefix>.<src>-><dst>". Must follow every connect() call.
+     */
+    void registerFaultPoints(sim::fault::Registry &reg,
+                             const std::string &prefix);
 
   private:
     std::string _name;

@@ -36,6 +36,15 @@ AddressSpace::translate(mem::Addr vaddr)
 {
     std::uint64_t p = vpn(vaddr);
     auto it = _pageTable.find(p);
+    if (it != _pageTable.end() && _mm.isPoisoned(it->second)) {
+        // The frame died under us (hwpoison). Retire the mapping —
+        // freePage() drops poisoned frames instead of recycling them —
+        // and fall through to a fresh fault-in.
+        _mm.freePage(it->second);
+        _pageTable.erase(it);
+        it = _pageTable.end();
+        ++_refaults;
+    }
     if (it == _pageTable.end()) {
         auto frame = _mm.allocPage(_policy, _homeNode);
         if (!frame)

@@ -42,7 +42,11 @@ class AddressSpace
     /**
      * Virtual -> physical translation, faulting the page in under the
      * current policy if needed. Returns nullopt when the system is
-     * out of memory under the policy.
+     * out of memory under the policy. A mapping whose frame was
+     * poisoned (hwpoison after a remote-memory error) is torn down and
+     * re-faulted to a fresh frame, so the application transparently
+     * leaves the dead memory behind — at the cost of losing the
+     * page's contents, exactly like a fresh anonymous page.
      */
     std::optional<mem::Addr> translate(mem::Addr vaddr);
 
@@ -60,6 +64,8 @@ class AddressSpace
 
     std::uint64_t mappedPages() const { return _pageTable.size(); }
     std::uint64_t faults() const { return _faults; }
+    /** Pages re-faulted away from a poisoned frame. */
+    std::uint64_t refaults() const { return _refaults; }
 
     /** Pages resident on each node (diagnostic, O(pages)). */
     std::unordered_map<NodeId, std::uint64_t> residency() const;
@@ -71,6 +77,7 @@ class AddressSpace
     mem::Addr _nextVBase = 0x0000'7f00'0000'0000ULL;
     std::unordered_map<std::uint64_t, mem::Addr> _pageTable; // vpn->frame
     std::uint64_t _faults = 0;
+    std::uint64_t _refaults = 0;
 
     std::uint64_t
     vpn(mem::Addr vaddr) const

@@ -104,6 +104,10 @@ MemoryManager::allocPageOn(NodeId node)
         static_cast<std::size_t>(node) >= _freeLists.size())
         return std::nullopt;
     auto &fl = _freeLists[static_cast<std::size_t>(node)];
+    // Frames poisoned while sitting on the free list are retired on
+    // the way out instead of being handed to a new mapping.
+    while (!fl.empty() && _poisoned.count(fl.front()))
+        fl.pop_front();
     if (fl.empty())
         return std::nullopt;
     mem::Addr page = fl.front();
@@ -171,7 +175,23 @@ MemoryManager::freePage(mem::Addr page)
     TF_ASSERT(s->online, "freeing an unmanaged page");
     TF_ASSERT(s->pagesInUse > 0, "double free in section");
     --s->pagesInUse;
+    if (_poisoned.count(page - page % _pageBytes)) {
+        // hwpoison: the frame is retired, never handed out again.
+        return;
+    }
     _freeLists[static_cast<std::size_t>(s->node)].push_back(page);
+}
+
+void
+MemoryManager::poisonPage(mem::Addr addr)
+{
+    _poisoned.insert(addr - addr % _pageBytes);
+}
+
+bool
+MemoryManager::isPoisoned(mem::Addr addr) const
+{
+    return _poisoned.count(addr - addr % _pageBytes) > 0;
 }
 
 std::optional<mem::Addr>

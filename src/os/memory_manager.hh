@@ -16,6 +16,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "mem/addr.hh"
@@ -71,6 +72,23 @@ class MemoryManager
     /** Return a page frame to its node's free list. */
     void freePage(mem::Addr page);
 
+    // ------------------------- hwpoison ----------------------------
+
+    /**
+     * Mark the frame backing @p addr as poisoned (the kernel's
+     * hwpoison path: the backing memory returned an unrecoverable
+     * error). A poisoned frame is retired: freePage() drops it
+     * instead of returning it to the free list, so it is never
+     * handed out again.
+     */
+    void poisonPage(mem::Addr addr);
+
+    /** Whether the frame backing @p addr is poisoned. */
+    bool isPoisoned(mem::Addr addr) const;
+
+    /** Frames currently marked poisoned (retired or still mapped). */
+    std::uint64_t poisonedPages() const { return _poisoned.size(); }
+
     /**
      * Claim one entirely-free online section on @p node (all of its
      * pages leave the free list). Used by the memory-stealing agent,
@@ -98,6 +116,7 @@ class MemoryManager
     std::map<mem::Addr, Section> _sections; // by base address
     std::vector<std::deque<mem::Addr>> _freeLists; // per node
     std::vector<std::uint64_t> _totalPages;        // per node
+    std::set<mem::Addr> _poisoned; // retired frames (page-aligned)
 
     void ensureNode(NodeId node);
     Section *sectionOf(mem::Addr addr);

@@ -48,9 +48,10 @@ enum class Stage : std::uint8_t {
     StackUp,        ///< host FPGA stack, response direction
     HostSerdesUp,   ///< host serDES, response direction
     Eth,            ///< Ethernet message (client / inter-rack traffic)
+    Fault,          ///< injected fault active at a fault point
 };
 
-constexpr int kStageCount = static_cast<int>(Stage::Eth) + 1;
+constexpr int kStageCount = static_cast<int>(Stage::Fault) + 1;
 
 /** Stable stage name, used for Perfetto tracks and metric keys. */
 constexpr const char *
@@ -73,6 +74,7 @@ stageName(Stage s)
       case Stage::StackUp:         return "stackUp";
       case Stage::HostSerdesUp:    return "hostSerdesUp";
       case Stage::Eth:             return "eth";
+      case Stage::Fault:           return "fault";
     }
     return "unknown";
 }

@@ -39,6 +39,21 @@ Node::issue(mem::TxnPtr txn)
     if (_datapath != nullptr &&
         _datapath->compute().window().contains(txn->addr, txn->size)) {
         _remoteAccesses.inc();
+        // The compute endpoint rewrites txn->addr on the way down, so
+        // capture the host-real address now: an error completion
+        // (dead path, deadline) poisons the backing frame, and the
+        // next touch of the page re-faults it off the dead memory.
+        mem::Addr realAddr = txn->addr;
+        auto inner = std::move(txn->onComplete);
+        txn->onComplete = [this, realAddr,
+                           inner = std::move(inner)](mem::MemTxn &t) {
+            if (t.error) {
+                _remoteErrors.inc();
+                _mm->poisonPage(realAddr);
+            }
+            if (inner)
+                inner(t);
+        };
         _datapath->issue(std::move(txn));
         return;
     }

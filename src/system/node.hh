@@ -73,6 +73,8 @@ class Node
     {
         return _remoteAccesses.value();
     }
+    /** Remote accesses that error-completed (frame poisoned). */
+    std::uint64_t remoteErrors() const { return _remoteErrors.value(); }
 
   private:
     std::string _name;
@@ -90,6 +92,7 @@ class Node
     flow::Datapath *_datapath = nullptr;
     sim::Counter _localAccesses;
     sim::Counter _remoteAccesses;
+    sim::Counter _remoteErrors;
 };
 
 } // namespace tf::sys

@@ -120,6 +120,29 @@ Testbed::recoverChannel(std::size_t i)
 }
 
 void
+Testbed::flapChannel(std::size_t i, sim::Tick downFor)
+{
+    TF_ASSERT(_datapath != nullptr, "no datapath in this setup");
+    _datapath->flapChannel(i, downFor);
+}
+
+void
+Testbed::registerFaultPoints(sim::fault::Registry &reg)
+{
+    using sim::fault::Event;
+    using sim::fault::Kind;
+    using sim::fault::kindBit;
+    if (_datapath)
+        _datapath->registerFaultPoints(reg, "tflow");
+    if (_cp)
+        _cp->registerFaultPoints(reg, "ctrl");
+    _network.registerFaultPoints(reg, "net");
+    mem::Dram *donor = &_serverB->dram();
+    reg.add("serverB.dram", kindBit(Kind::DramStall),
+            [donor](const Event &ev) { donor->stall(ev.duration); });
+}
+
+void
 Testbed::registerStats(sim::StatsRegistry &reg,
                        const std::string &prefix)
 {

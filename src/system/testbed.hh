@@ -82,6 +82,19 @@ class Testbed
     void failChannel(std::size_t i);
     void recoverChannel(std::size_t i);
 
+    /** Fail channel @p i and auto-recover after @p downFor ticks. */
+    void flapChannel(std::size_t i, sim::Tick downFor);
+
+    /**
+     * Register every injectable site with a fault-point registry:
+     *   tflow.ch<i>[...]  channel fail/flap, wire bursts, credit
+     *                     starvation (disaggregated setups only)
+     *   net.<src>-><dst>  Ethernet latency spikes
+     *   serverB.dram      donor memory-controller stalls
+     *   ctrl              control-plane outages
+     */
+    void registerFaultPoints(sim::fault::Registry &reg);
+
     /**
      * Register the whole testbed with @p reg under @p prefix:
      *   tflow[...]   datapath tree (disaggregated setups only)

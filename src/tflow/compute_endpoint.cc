@@ -1,5 +1,7 @@
 #include "tflow/compute_endpoint.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace tf::flow {
@@ -48,6 +50,7 @@ ComputeEndpoint::issue(mem::TxnPtr txn)
     TF_ASSERT(_window.contains(txn->addr, txn->size),
               "address outside the endpoint's M1 window");
     txn->issued = now();
+    armDeadlineSweep();
     auto &tb = eventQueue().trace();
     txn->traceId = tb.newTrace();
     tb.begin(now(), txn->traceId, sim::trace::Stage::TagQueue,
@@ -159,12 +162,90 @@ ComputeEndpoint::abortOutstanding(mem::NetworkId id)
         resp->complete();
     }
 
+    drainWaitQueue();
+    return doomed.size();
+}
+
+void
+ComputeEndpoint::drainWaitQueue()
+{
     while (!_waitQueue.empty() && _outstanding.size() < _params.maxTags) {
         mem::TxnPtr next = std::move(_waitQueue.front());
         _waitQueue.pop_front();
         admit(std::move(next));
     }
-    return doomed.size();
+}
+
+void
+ComputeEndpoint::armDeadlineSweep()
+{
+    if (_params.requestDeadline == 0 ||
+        _deadlineSweep != sim::EventQueue::invalidEvent)
+        return;
+    sim::Tick period = std::max<sim::Tick>(_params.requestDeadline / 2, 1);
+    _deadlineSweep = after(period, [this]() { onDeadlineSweep(); });
+}
+
+void
+ComputeEndpoint::onDeadlineSweep()
+{
+    _deadlineSweep = sim::EventQueue::invalidEvent;
+    const sim::Tick deadline = _params.requestDeadline;
+
+    // Overdue in-flight requests: their response path is dead or
+    // crawling. Same clone-completion discipline as abortOutstanding —
+    // the original object may still be mastering inside a frame.
+    std::vector<mem::TxnPtr> doomed;
+    for (auto it = _outstanding.begin(); it != _outstanding.end();) {
+        if (it->second && now() - it->second->issued >= deadline) {
+            doomed.push_back(std::move(it->second));
+            it = _outstanding.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // Map order is hash-order; complete oldest-first so downstream
+    // effects (closed-loop reissues) are platform-independent.
+    std::sort(doomed.begin(), doomed.end(),
+              [](const mem::TxnPtr &a, const mem::TxnPtr &b) {
+                  return a->id < b->id;
+              });
+    for (auto &txn : doomed) {
+        auto resp = std::make_shared<mem::MemTxn>(*txn);
+        txn->onComplete = nullptr;
+        if (mem::isRequest(resp->type))
+            resp->makeResponse();
+        resp->error = true;
+        resp->status = mem::TxnStatus::TimedOut;
+        _deadlineExpired.inc();
+        _completed.inc();
+        resp->complete();
+    }
+
+    // Overdue tag-queued requests never entered the pipeline, so they
+    // are completed in place (no in-flight aliases to protect).
+    for (auto it = _waitQueue.begin(); it != _waitQueue.end();) {
+        mem::TxnPtr &txn = *it;
+        if (now() - txn->issued >= deadline) {
+            eventQueue().trace().end(now(), txn->traceId,
+                                     sim::trace::Stage::TagQueue);
+            mem::TxnPtr doomedTxn = std::move(txn);
+            it = _waitQueue.erase(it);
+            doomedTxn->makeResponse();
+            doomedTxn->error = true;
+            doomedTxn->status = mem::TxnStatus::TimedOut;
+            // Not _completed: the request was never admitted, so it
+            // never counted as _issued either.
+            _deadlineExpired.inc();
+            doomedTxn->complete();
+        } else {
+            ++it;
+        }
+    }
+
+    drainWaitQueue();
+    if (!_outstanding.empty() || !_waitQueue.empty())
+        armDeadlineSweep();
 }
 
 void
@@ -185,12 +266,7 @@ ComputeEndpoint::finish(mem::TxnPtr txn)
     _rttNs.add(sim::toNs(now() - txn->issued));
     txn->complete();
 
-    while (!_waitQueue.empty() &&
-           _outstanding.size() < _params.maxTags) {
-        mem::TxnPtr next = std::move(_waitQueue.front());
-        _waitQueue.pop_front();
-        admit(std::move(next));
-    }
+    drainWaitQueue();
 }
 
 void
@@ -205,6 +281,8 @@ ComputeEndpoint::reportStats(sim::StatSet &out) const
                static_cast<double>(_dupResponses.value()));
     out.record("reroutedRequests", static_cast<double>(_rerouted.value()));
     out.record("abortedTxns", static_cast<double>(_aborted.value()));
+    out.record("deadlineExpired",
+               static_cast<double>(_deadlineExpired.value()));
     out.record("rttMeanNs", _rttNs.mean(), "ns");
     out.record("rttP99Ns", _rttNs.quantile(0.99), "ns");
 }
@@ -222,6 +300,8 @@ ComputeEndpoint::registerStats(sim::StatsRegistry &reg,
                "at-least-once failover duplicates suppressed");
     set.attach("reroutedRequests", _rerouted, "txns");
     set.attach("abortedTxns", _aborted, "txns");
+    set.attach("deadlineExpired", _deadlineExpired, "txns",
+               "requests error-completed by the request deadline");
     set.attach("rttNs", _rttNs, "ns",
                "host-bus round-trip latency");
     set.attach("xlatNs", _xlatNs, "ns",

@@ -84,6 +84,11 @@ class ComputeEndpoint : public sim::SimObject
     std::uint64_t duplicateResponses() const { return _dupResponses.value(); }
     std::uint64_t reroutedRequests() const { return _rerouted.value(); }
     std::uint64_t abortedTxns() const { return _aborted.value(); }
+    /** Requests error-completed by the request deadline. */
+    std::uint64_t deadlineExpired() const
+    {
+        return _deadlineExpired.value();
+    }
 
     /** Round-trip latency distribution (ns) seen at the host bus. */
     const sim::SampleStat &rttNs() const { return _rttNs; }
@@ -126,13 +131,28 @@ class ComputeEndpoint : public sim::SimObject
     sim::Counter _dupResponses;
     sim::Counter _rerouted;
     sim::Counter _aborted;
+    sim::Counter _deadlineExpired;
     sim::SampleStat _rttNs;
     sim::QuantileSketch _xlatNs;
+
+    /**
+     * Deadline sweeper (params.requestDeadline > 0): one periodic
+     * event, armed lazily while work is in flight, that error-
+     * completes requests older than the deadline with
+     * TxnStatus::TimedOut. Sweeping at deadline/2 granularity bounds
+     * the worst-case hang at 1.5x the deadline without the per-
+     * transaction timer churn an exact deadline would cost.
+     */
+    sim::EventQueue::EventId _deadlineSweep =
+        sim::EventQueue::invalidEvent;
 
     void admit(mem::TxnPtr txn);
     void routeAndSend(mem::TxnPtr txn);
     void finish(mem::TxnPtr txn);
     void failFast(mem::TxnPtr txn);
+    void armDeadlineSweep();
+    void onDeadlineSweep();
+    void drainWaitQueue();
 };
 
 } // namespace tf::flow

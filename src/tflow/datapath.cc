@@ -9,7 +9,7 @@ Datapath::Datapath(const std::string &name, sim::EventQueue &eq,
                    ocapi::PasidRegistry &donorPasids,
                    mem::Dram &donorDram, sim::Rng &rng,
                    std::uint64_t sectionBytes)
-    : _params(params),
+    : _params(params), _eq(eq),
       _c1(name + ".c1", eq, ocapi::C1Params{}, donorPasids, donorDram),
       _compute(name + ".compute", eq, _params, window,
                SectionTable(sectionBytes,
@@ -165,6 +165,43 @@ Datapath::recoverChannel(std::size_t i)
 }
 
 void
+Datapath::flapChannel(std::size_t i, sim::Tick downFor)
+{
+    channel(i).fail();
+    _flaps.inc();
+    _eq.scheduleIn(downFor, [this, i]() { recoverChannel(i); });
+}
+
+void
+Datapath::registerFaultPoints(sim::fault::Registry &reg,
+                              const std::string &prefix)
+{
+    using sim::fault::Event;
+    using sim::fault::Kind;
+    using sim::fault::kindBit;
+    for (std::size_t i = 0; i < _channels.size(); ++i) {
+        const std::string base = prefix + ".ch" + std::to_string(i);
+        reg.add(base,
+                kindBit(Kind::ChannelFail) | kindBit(Kind::ChannelFlap),
+                [this, i](const Event &ev) {
+                    if (ev.kind == Kind::ChannelFail)
+                        failChannel(i);
+                    else
+                        flapChannel(i, ev.duration);
+                });
+        reg.add(base + ".wire", kindBit(Kind::BurstLoss),
+                [this, i](const Event &ev) {
+                    channel(i).wireAB().startBurst(ev.ge, ev.duration);
+                    channel(i).wireBA().startBurst(ev.ge, ev.duration);
+                });
+        reg.add(base + ".credits", kindBit(Kind::CreditStarve),
+                [this, i](const Event &ev) {
+                    channel(i).txA().starveCredits(ev.duration);
+                });
+    }
+}
+
+void
 Datapath::handleLinkDown(std::size_t ch)
 {
     if (_chDown.at(ch))
@@ -231,6 +268,8 @@ Datapath::registerStats(sim::StatsRegistry &reg,
 {
     sim::StatSet &set = reg.at(prefix);
     set.attach("linkDownEvents", _linkDowns, "events");
+    set.attach("channelFlaps", _flaps, "events",
+               "transient flap injections (down + auto-recover)");
     set.attach("reroutedRequests", _reroutedReqs, "txns",
                "salvaged requests re-entering the routing layer");
     set.attach("reroutedResponses", _reroutedResps, "txns",

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mem/dram.hh"
+#include "sim/fault/fault.hh"
 #include "tflow/compute_endpoint.hh"
 #include "tflow/stealing_endpoint.hh"
 
@@ -91,10 +92,30 @@ class Datapath
     /** Fault injection: repair a channel and restore it to routing. */
     void recoverChannel(std::size_t i);
 
+    /**
+     * Fault injection: transient flap — hard-fail the channel's wires
+     * now and auto-recover them @p downFor later. Whether the outage
+     * is even noticed depends on its length vs the LLC's replay
+     * escalation: short flaps heal invisibly through go-back-N replay;
+     * long ones escalate to link-down and the recovery retrains the
+     * channel and re-admits it to routing.
+     */
+    void flapChannel(std::size_t i, sim::Tick downFor);
+
+    /**
+     * Register this datapath's injectable sites with @p reg:
+     *   <prefix>.ch<i>          ChannelFail / ChannelFlap
+     *   <prefix>.ch<i>.wire     BurstLoss (both directions)
+     *   <prefix>.ch<i>.credits  CreditStarve (compute-side Tx)
+     */
+    void registerFaultPoints(sim::fault::Registry &reg,
+                             const std::string &prefix);
+
     /** True once the datapath has declared channel @p i dead. */
     bool channelDown(std::size_t i) const { return _chDown.at(i); }
 
     std::uint64_t linkDownEvents() const { return _linkDowns.value(); }
+    std::uint64_t channelFlaps() const { return _flaps.value(); }
     std::uint64_t reroutedRequests() const { return _reroutedReqs.value(); }
     std::uint64_t reroutedResponses() const
     {
@@ -125,6 +146,7 @@ class Datapath
 
   private:
     FlowParams _params;
+    sim::EventQueue &_eq;
     ocapi::C1Master _c1;
     std::vector<std::unique_ptr<LlcChannel>> _channels;
     ComputeEndpoint _compute;
@@ -132,6 +154,7 @@ class Datapath
     std::vector<bool> _chDown;
     std::vector<LinkListener> _listeners;
     sim::Counter _linkDowns;
+    sim::Counter _flaps;
     sim::Counter _reroutedReqs;
     sim::Counter _reroutedResps;
     sim::Counter _droppedResps;

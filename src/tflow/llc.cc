@@ -48,6 +48,59 @@ Wire::recover()
 }
 
 void
+Wire::startBurst(const sim::fault::GilbertElliott &ge, sim::Tick duration)
+{
+    _burstGe = ge;
+    _burstUntil = std::max(_burstUntil, now() + duration);
+    // A burst starts in the bad state: the fault models an external
+    // disturbance already underway, not one waiting for a coin flip.
+    _burstBad = true;
+    _burstWindows.inc();
+}
+
+bool
+Wire::burstActive() const
+{
+    return _burstUntil > now();
+}
+
+bool
+Wire::frameError()
+{
+    // Transient burst window first (self-clearing per frame). The RNG
+    // is only touched while a model is active, so fault-free runs
+    // draw the exact same sequence as before the engine existed.
+    if (_burstUntil != 0) {
+        if (now() >= _burstUntil) {
+            _burstUntil = 0;
+            _burstBad = false;
+        } else {
+            if (_burstBad) {
+                if (_rng.chance(_burstGe.pBadGood))
+                    _burstBad = false;
+            } else if (_rng.chance(_burstGe.pGoodBad)) {
+                _burstBad = true;
+            }
+            double rate =
+                _burstBad ? _burstGe.errBad : _burstGe.errGood;
+            return rate > 0 && _rng.chance(rate);
+        }
+    }
+    if (_params.geEnabled) {
+        if (_geBad) {
+            if (_rng.chance(_params.geBadGood))
+                _geBad = false;
+        } else if (_rng.chance(_params.geGoodBad)) {
+            _geBad = true;
+        }
+        double rate = _geBad ? _params.geErrBad : _params.geErrGood;
+        return rate > 0 && _rng.chance(rate);
+    }
+    return _params.frameErrorRate > 0 &&
+           _rng.chance(_params.frameErrorRate);
+}
+
+void
 Wire::sendFrame(FramePtr frame)
 {
     TF_ASSERT(_onFrame != nullptr, "%s: wire not connected",
@@ -71,7 +124,7 @@ Wire::sendFrame(FramePtr frame)
     }
 
     bool drop = false;
-    if (_params.frameErrorRate > 0 && _rng.chance(_params.frameErrorRate)) {
+    if (frameError()) {
         if (_rng.chance(0.5)) {
             drop = true;
             _framesDropped.inc();
@@ -126,6 +179,8 @@ Wire::attachStats(sim::StatSet &set)
     set.attach("ctrlLostDown", _ctrlLostDown, "msgs");
     set.attach("failEvents", _failEvents, "events");
     set.attach("wireBytes", _wireBytes, "bytes");
+    set.attach("burstWindows", _burstWindows, "events",
+               "Gilbert-Elliott burst-loss windows opened");
 }
 
 // --------------------------------------------------------------- LlcTx
@@ -232,11 +287,13 @@ LlcTx::trySend()
     }
     while (!_queue.empty()) {
         if (_credits == 0) {
-            if (_replayBuf.empty()) {
+            if (_replayBuf.empty() && _starveUntil <= now()) {
                 // Every sent frame is acked yet the credits never came
                 // back: their return messages died on a failed wire.
                 // Nothing is in flight, so the full window is provably
-                // free; resynchronise instead of deadlocking.
+                // free; resynchronise instead of deadlocking. (Gated
+                // off while credits are being starved, or the resync
+                // would instantly undo the injected fault.)
                 _creditResyncs.inc();
                 refundCredits(_params.rxQueueFrames);
             } else {
@@ -270,8 +327,16 @@ LlcTx::onCtrl(const ControlMsg &msg)
 {
     if (_linkDown)
         return; // stale control from before the link was declared dead
-    if (msg.credits > 0)
-        refundCredits(msg.credits);
+    std::uint32_t credits = msg.credits;
+    if (credits > 0 && _starveUntil > now()) {
+        // Credit-starvation fault: the refund is lost. Acks below
+        // still process so replay bookkeeping stays coherent; the
+        // send window just narrows until resync heals it.
+        _starvedCredits.inc(credits);
+        credits = 0;
+    }
+    if (credits > 0)
+        refundCredits(credits);
 
     if (msg.hasAck) {
         bool progress = false;
@@ -294,7 +359,7 @@ LlcTx::onCtrl(const ControlMsg &msg)
         // detection needs a later frame to arrive): not a dead link.
         _consecTimeouts = 0;
         replayFrom(msg.replayFrom);
-    } else if (_replayPending && msg.credits > 0) {
+    } else if (_replayPending && credits > 0) {
         // Resume a replay that stalled on credit exhaustion; without
         // this the stalled frames would sit until the next ack
         // timeout even though credits are available again.
@@ -420,6 +485,22 @@ LlcTx::declareLinkDown()
 }
 
 void
+LlcTx::starveCredits(sim::Tick duration)
+{
+    _starveUntil = std::max(_starveUntil, now() + duration);
+    _creditStarves.inc();
+    after(duration, [this]() {
+        if (creditsStarved())
+            return; // a later starve extended the window
+        // The last refund may have been swallowed with nothing else
+        // in flight to re-kick the pipeline; let trySend recover
+        // (resync path included) now that refunds flow again.
+        if (!_queue.empty() || _replayPending)
+            scheduleKick(now());
+    });
+}
+
+void
 LlcTx::forceLinkDown()
 {
     if (_linkDown)
@@ -509,6 +590,10 @@ LlcTx::attachStats(sim::StatSet &set)
     set.attach("creditResyncs", _creditResyncs, "events");
     set.attach("deadLetters", _deadLetters, "txns",
                "salvaged to the failover path after link-down");
+    set.attach("creditStarves", _creditStarves, "events",
+               "credit-starvation fault windows opened");
+    set.attach("starvedCredits", _starvedCredits, "credits",
+               "refunds swallowed by starvation faults");
 }
 
 // --------------------------------------------------------------- LlcRx

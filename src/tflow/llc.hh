@@ -39,6 +39,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/fault/fault.hh"
 #include "sim/rng.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
@@ -86,6 +87,18 @@ class Wire : public sim::SimObject
 
     bool failed() const { return _failed; }
 
+    /**
+     * Open a transient Gilbert-Elliott burst-loss window: until
+     * now + @p duration every frame draws its error from the
+     * two-state chain @p ge instead of the steady-state model. The
+     * window is self-clearing (checked per frame, no extra events)
+     * and extends, never shortens, an active window.
+     */
+    void startBurst(const sim::fault::GilbertElliott &ge,
+                    sim::Tick duration);
+
+    bool burstActive() const;
+
     std::uint64_t framesSent() const { return _framesSent.value(); }
     std::uint64_t framesDropped() const { return _framesDropped.value(); }
     std::uint64_t framesCorrupted() const { return _framesCorrupted.value(); }
@@ -110,6 +123,12 @@ class Wire : public sim::SimObject
     bool _failed = false;
     /** Bumped on fail() so already-scheduled deliveries are dropped. */
     std::uint64_t _epoch = 0;
+    /** Gilbert-Elliott chain state (always-on model, params.geEnabled). */
+    bool _geBad = false;
+    /** Transient burst window; 0 = inactive. */
+    sim::Tick _burstUntil = 0;
+    sim::fault::GilbertElliott _burstGe;
+    bool _burstBad = false;
     sim::Counter _framesSent;
     sim::Counter _framesDropped;
     sim::Counter _framesCorrupted;
@@ -117,6 +136,10 @@ class Wire : public sim::SimObject
     sim::Counter _ctrlLostDown;
     sim::Counter _failEvents;
     sim::Counter _wireBytes;
+    sim::Counter _burstWindows;
+
+    /** Per-frame error draw under the active error model. */
+    bool frameError();
 };
 
 /**
@@ -156,6 +179,17 @@ class LlcTx : public sim::SimObject
      */
     void forceLinkDown();
 
+    /**
+     * Credit-starvation fault: until now + @p duration every credit
+     * refund arriving in onCtrl is swallowed (acks still process, so
+     * replay bookkeeping stays sane). Swallowed credits narrow the
+     * send window; the existing credit-resync path heals it once the
+     * window provably drained. Extends an active starvation window.
+     */
+    void starveCredits(sim::Tick duration);
+
+    bool creditsStarved() const { return _starveUntil > now(); }
+
     /** True once replay escalation has declared the channel dead. */
     bool linkDown() const { return _linkDown; }
 
@@ -192,6 +226,11 @@ class LlcTx : public sim::SimObject
     std::uint64_t linkDownsDeclared() const { return _linkDowns.value(); }
     std::uint64_t creditResyncs() const { return _creditResyncs.value(); }
     std::uint64_t deadLetters() const { return _deadLetters.value(); }
+    std::uint64_t creditStarves() const { return _creditStarves.value(); }
+    std::uint64_t starvedCredits() const
+    {
+        return _starvedCredits.value();
+    }
 
     void reportStats(sim::StatSet &out) const;
 
@@ -226,6 +265,9 @@ class LlcTx : public sim::SimObject
     HealthFn _onLinkDown;
     DeadLetterFn _onDeadLetter;
 
+    /** Credit refunds are swallowed until this tick (0 = healthy). */
+    sim::Tick _starveUntil = 0;
+
     sim::Counter _framesSent;
     sim::Counter _txnsSent;
     sim::Counter _padFlits;
@@ -235,6 +277,8 @@ class LlcTx : public sim::SimObject
     sim::Counter _linkDowns;
     sim::Counter _creditResyncs;
     sim::Counter _deadLetters;
+    sim::Counter _creditStarves;
+    sim::Counter _starvedCredits;
 
     void scheduleKick(sim::Tick when);
     void trySend();

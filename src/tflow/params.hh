@@ -56,6 +56,21 @@ struct FlowParams
     /** Per-frame probability of loss/corruption on the wire. */
     double frameErrorRate = 0.0;
     /**
+     * Gilbert-Elliott burst-error model (two-state Markov chain per
+     * frame) as an always-on alternative to the i.i.d. coin flip
+     * above. When enabled (geEnabled), frameErrorRate is ignored and
+     * each frame draws its error from the current state's rate; the
+     * chain flips good->bad with geGoodBad and bad->good with
+     * geBadGood, so losses arrive in bursts of mean length
+     * 1 / geBadGood frames. Fault plans can also open transient
+     * burst windows with these dynamics regardless of geEnabled.
+     */
+    bool geEnabled = false;
+    double geGoodBad = 0.0;  ///< P(good -> bad) per frame
+    double geBadGood = 1.0;  ///< P(bad -> good) per frame
+    double geErrGood = 0.0;  ///< frame-error rate in the good state
+    double geErrBad = 0.0;   ///< frame-error rate in the bad state
+    /**
      * Consecutive ack-timeout rounds (no cumulative-ack progress at
      * all) after which the Tx declares the channel dead and raises a
      * link-down event instead of replaying forever. 0 disables
@@ -67,6 +82,14 @@ struct FlowParams
     // ---- endpoint ----
     /** Outstanding-transaction tags at the compute endpoint. */
     std::uint32_t maxTags = 256;
+    /**
+     * End-to-end request deadline at the compute endpoint. A request
+     * still outstanding (or still tag-queued) this long after issue
+     * is error-completed with TxnStatus::TimedOut so the host never
+     * hangs on a response that cannot arrive. 0 disables the
+     * deadline (legacy behaviour: requests wait forever).
+     */
+    sim::Tick requestDeadline = 0;
     /** Frame drain time at Rx before its credit is returned. */
     sim::Tick rxDrainLatency = sim::nanoseconds(40);
 

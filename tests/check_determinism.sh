@@ -1,12 +1,13 @@
 #!/bin/sh
 # Same-seed determinism cross-check for the parallel bench harness.
 #
-# Runs the smoke-sized proto_datapath and fig05_stream scenarios with
-# --jobs 1, 2 and 4 and requires every result document to be
-# byte-identical (--no-wall strips the only legitimately varying
-# field). This is the end-to-end guarantee the parallel engine and
-# the point-sharding harness promise: worker count must not be
-# observable in any output.
+# Runs the smoke-sized proto_datapath, fig05_stream and fault_soak
+# scenarios with --jobs 1, 2 and 4 and requires every result document
+# to be byte-identical (--no-wall strips the only legitimately
+# varying field). This is the end-to-end guarantee the parallel
+# engine and the point-sharding harness promise: worker count must
+# not be observable in any output — including the chaos soak, whose
+# seeded FaultPlans must replay identically on every worker layout.
 #
 # Usage: check_determinism.sh <path-to-tf_bench>
 
@@ -21,11 +22,12 @@ fi
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
-scenarios="proto_datapath fig05_stream"
+scenarios="proto_datapath fig05_stream fault_soak"
 for jobs in 1 2 4; do
     mkdir -p "$workdir/j$jobs"
     "$bench" --smoke --no-wall --seed 42 --jobs "$jobs" \
         --scenario proto_datapath --scenario fig05_stream \
+        --scenario fault_soak \
         --out "$workdir/j$jobs" > /dev/null
 done
 

@@ -1,8 +1,10 @@
 /**
  * @file
  * End-to-end link-failure tests: bonded degradation under load,
- * control-plane path repair, regrow after recovery, and clean
- * teardown when every channel is lost.
+ * control-plane path repair, regrow after recovery, clean teardown
+ * when every channel is lost, transient flap storms riding the
+ * hold-down ladder, Gilbert-Elliott burst windows healed by LLC
+ * replay, and deadline-bounded error completion on permanent death.
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 
 #include "ctrl/control_plane.hh"
 #include "mem/dram.hh"
+#include "sim/fault/fault.hh"
 
 using namespace tf;
 using namespace tf::ctrl;
@@ -147,6 +150,45 @@ TEST_F(BondedFailoverFixture, RecoveryRestoresFullBandwidth)
                    static_cast<double>(recovered);
     EXPECT_GT(ratio, 0.9);
     EXPECT_LT(ratio, 1.1);
+    EXPECT_EQ(dp->compute().outstanding(), 0u);
+}
+
+TEST_F(BondedFailoverFixture, BurstLossWindowHealedByReplay)
+{
+    constexpr int kReads = 4000;
+    constexpr int kWindow = 256;
+
+    sim::fault::Registry reg;
+    dp->registerFaultPoints(reg, "dp");
+    ASSERT_TRUE(reg.has("dp.ch1.wire"));
+    sim::fault::Engine engine(eq, reg);
+
+    // Correlated loss: ~2.5-frame bursts, 40% frame-error rate while
+    // bad. The window (6 us) is shorter than the missing-ack
+    // escalation (4 rounds x 2 us), so the LLC must absorb every
+    // corrupted frame with go-back-N replay -- no link-down, no
+    // error surfaces to the application.
+    sim::fault::GilbertElliott ge;
+    ge.pGoodBad = 0.05;
+    ge.pBadGood = 0.4;
+    ge.errBad = 0.4;
+    sim::fault::Plan plan;
+    plan.burst(sim::microseconds(2), "dp.ch1.wire",
+               sim::microseconds(6), ge);
+    engine.arm(plan);
+
+    runPhase(kReads, kWindow); // every completion must be error-free
+
+    EXPECT_EQ(engine.fired(), 1u);
+    auto &ch = dp->channel(1);
+    EXPECT_GT(ch.wireAB().framesCorrupted() +
+                  ch.wireBA().framesCorrupted(),
+              0u)
+        << "burst window corrupted no frames";
+    EXPECT_GT(ch.txA().replayedFrames() + ch.txB().replayedFrames(),
+              0u);
+    EXPECT_FALSE(dp->channelDown(1));
+    EXPECT_EQ(dp->routing().unroutableDropped(), 0u);
     EXPECT_EQ(dp->compute().outstanding(), 0u);
 }
 
@@ -324,6 +366,43 @@ TEST_F(RepairFixture, RecoveryGrowsBondedFlowBack)
     EXPECT_EQ(dp->compute().outstanding(), 0u);
 }
 
+TEST_F(RepairFixture, FlapStormRegrowsOncePerFlapUnderHoldDown)
+{
+    cp->setHoldDown(eq, sim::microseconds(2), sim::microseconds(16));
+    auto id = cp->allocate(kAdmin, "hostA", "hostB", kSection,
+                           tflowNode, 2, localB);
+    ASSERT_TRUE(id.has_value());
+    const AllocationRecord *rec = cp->allocation(*id);
+    ASSERT_EQ(rec->channels.size(), 2u);
+
+    // 120 us of continuous reads spanning three transient flaps; each
+    // flap outlives the escalation threshold (3 rounds x 2 us), so
+    // every one walks the full ladder: link down -> degrade ->
+    // self-return -> hold-down -> readmit -> regrow.
+    scheduleReads(rec->attachment, 1200, sim::nanoseconds(100));
+    for (int i = 0; i < 3; ++i) {
+        eq.schedule(sim::microseconds(8 + 30 * i), [this]() {
+            dp->flapChannel(0, sim::microseconds(10));
+        });
+    }
+    eq.run();
+
+    // The self-returning channel must count exactly one regrow per
+    // flap -- the flap's own recovery and the hold-down readmit are
+    // the same event, not two.
+    EXPECT_EQ(dp->channelFlaps(), 3u);
+    EXPECT_EQ(cp->degrades(), 3u);
+    EXPECT_EQ(cp->holdDowns(), 3u);
+    EXPECT_EQ(cp->regrows(), 3u);
+    EXPECT_EQ(cp->teardowns(), 0u);
+    rec = cp->allocation(*id);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->channels.size(), 2u);
+    EXPECT_EQ(completions, 1200);
+    EXPECT_EQ(errors, 0);
+    EXPECT_EQ(dp->compute().outstanding(), 0u);
+}
+
 TEST_F(RepairFixture, TotalChannelLossTearsDownCleanly)
 {
     std::uint64_t donorFree = mmB->freePages(localB);
@@ -368,4 +447,66 @@ TEST_F(RepairFixture, TotalChannelLossTearsDownCleanly)
     EXPECT_EQ(dp->linkDownEvents(), 2u);
     EXPECT_GT(agentA->linkEventsObserved(), 0u);
     EXPECT_GT(agentA->routeRepairs(), 0u); // the degrade push
+}
+
+// ------------------------ deadline-bounded completion, no hang
+
+TEST(DeadlineFailover, PermanentDeathErrorCompletesEveryRequest)
+{
+    // No control plane: nothing tears the flow down when both
+    // channels die, so without a request deadline the backlog would
+    // simply never complete. The deadline sweeper must error-complete
+    // every stuck request (TxnStatus::TimedOut) in bounded time.
+    sim::EventQueue eq;
+    sim::Rng rng{5};
+    mem::BackingStore store;
+    mem::Dram dram("dram", eq, mem::DramParams{}, &store);
+    ocapi::PasidRegistry pasids;
+    flow::FlowParams p;
+    p.channels = 2;
+    p.maxReplayRounds = 3;
+    p.ackTimeout = sim::microseconds(2);
+    p.requestDeadline = sim::microseconds(40);
+    flow::Datapath dp("dp", eq, p,
+                      ocapi::M1Window{kWindowBase, kWindowSize},
+                      pasids, dram, rng, kSectionBytes);
+    ocapi::Pasid pasid = pasids.allocate();
+    ASSERT_TRUE(pasids.registerRegion(pasid, kDonorBase, kWindowSize));
+    dp.stealing().setPasid(pasid);
+    dp.attach(0, kDonorBase, 1, {0, 1});
+
+    int done = 0;
+    int failed = 0;
+    int timedOut = 0;
+    for (int i = 0; i < 200; ++i) {
+        eq.schedule(static_cast<sim::Tick>(i + 1) *
+                        sim::nanoseconds(100),
+                    [&, i]() {
+                        auto txn = mem::makeTxn(
+                            TxnType::ReadReq,
+                            kWindowBase +
+                                static_cast<Addr>(i % 512) * 128);
+                        txn->onComplete = [&](mem::MemTxn &t) {
+                            ++done;
+                            if (t.error)
+                                ++failed;
+                            if (t.status == mem::TxnStatus::TimedOut)
+                                ++timedOut;
+                        };
+                        dp.issue(std::move(txn));
+                    });
+    }
+    eq.schedule(sim::microseconds(5), [&]() {
+        dp.failChannel(0);
+        dp.failChannel(1);
+    });
+    eq.run(); // terminates only because the sweeper drains the backlog
+
+    EXPECT_EQ(done, 200);
+    EXPECT_GT(failed, 0);
+    EXPECT_GT(timedOut, 0);
+    EXPECT_GT(dp.compute().deadlineExpired(), 0u);
+    EXPECT_EQ(dp.compute().outstanding(), 0u);
+    // Worst case per request: 1.5x the deadline past the issue tail.
+    EXPECT_LT(eq.now(), sim::microseconds(200));
 }

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Merge ThymesisFlow flight-recorder / trace dumps into one session.
+
+Every process that dies under panic()/TF_ASSERT dumps its trace rings
+to tf_flight_<pid>.json, and tf_bench --trace writes one trace-event
+file per scenario. Each file is self-contained trace-event JSON with
+its own 1-based pid namespace, so loading several of them into
+Perfetto at once is impossible without renumbering.
+
+This tool merges any number of dumps into a single Perfetto-loadable
+session:
+
+    tools/merge_flight.py tf_flight_*.json -o merged.json
+
+ - pids are renumbered per input file (file order = argument order),
+   so node timelines never collide;
+ - process names are prefixed with the source file's stem so the
+   origin of every timeline stays visible;
+ - span events keep their timestamps and local ids untouched (id2
+   scoping is per-process, which the renumbering preserves);
+ - every input's otherData.reason is kept, keyed by file.
+
+Only the standard library is used; output is deterministic for a
+given argument order (events are sorted by timestamp with a stable
+tie-break on input order).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, list):  # bare event-array form
+        return {"traceEvents": doc}
+    if "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a trace-event file")
+    return doc
+
+
+def merge(paths):
+    out_events = []
+    span_events = []
+    reasons = {}
+    next_base = 0
+    for path in paths:
+        doc = load(path)
+        stem = os.path.splitext(os.path.basename(path))[0]
+        reason = doc.get("otherData", {}).get("reason")
+        if reason is not None:
+            reasons[stem] = reason
+
+        events = doc.get("traceEvents", [])
+        max_pid = 0
+        for ev in events:
+            pid = ev.get("pid")
+            if isinstance(pid, int):
+                max_pid = max(max_pid, pid)
+
+        for ev in events:
+            ev = dict(ev)
+            if isinstance(ev.get("pid"), int):
+                ev["pid"] = ev["pid"] + next_base
+            if (ev.get("ph") == "M"
+                    and ev.get("name") == "process_name"):
+                args = dict(ev.get("args", {}))
+                args["name"] = f"{stem}:{args.get('name', '?')}"
+                ev["args"] = args
+                out_events.append(ev)
+            elif ev.get("ph") == "M":
+                out_events.append(ev)
+            else:
+                span_events.append(ev)
+        next_base += max_pid
+
+    # Metadata first, then spans in global timestamp order (stable:
+    # input order breaks ties, matching each file's own ordering).
+    span_events.sort(key=lambda ev: float(ev.get("ts", 0.0)))
+    out = {
+        "traceEvents": out_events + span_events,
+        "displayTimeUnit": "ns",
+    }
+    if reasons:
+        out["otherData"] = {"reasons": reasons}
+    return out
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="merge tf_flight_<pid>.json / TRACE dumps into "
+                    "one Perfetto session")
+    ap.add_argument("inputs", nargs="+",
+                    help="trace-event JSON files to merge")
+    ap.add_argument("-o", "--output", default="merged_flight.json",
+                    help="merged output file "
+                         "(default: merged_flight.json)")
+    args = ap.parse_args(argv)
+
+    try:
+        merged = merge(args.inputs)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    with open(args.output, "w") as f:
+        json.dump(merged, f, separators=(",", ":"))
+        f.write("\n")
+    spans = sum(1 for ev in merged["traceEvents"]
+                if ev.get("ph") != "M")
+    print(f"{args.output}: {len(args.inputs)} file(s), "
+          f"{spans} span events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
