@@ -12,8 +12,16 @@ code change, not noise; the 15% default threshold only keeps
 intentional model retunes from needing a baseline refresh for every
 small shift.
 
+Every baselined scenario must be present in the results with a
+matching config; an absent result file or a smoke/full mismatch is a
+hard failure, not a skip, so a CI leg that silently stops running a
+scenario cannot keep passing. Legs that only run a subset pass
+--scenario (repeatable) to name the scenarios they gate.
+
 Usage:
   check_regression.py --baseline bench/baseline.json --results DIR
+  check_regression.py --baseline bench/baseline.json --results DIR \
+      --scenario cache_vs_migration   # gate only this scenario
   check_regression.py --baseline bench/baseline.json --results DIR \
       --update    # regenerate the baseline from the results
 
@@ -82,7 +90,7 @@ def update_baseline(baseline_path, docs, threshold):
           f"{total} metrics -> {baseline_path}")
 
 
-def check(baseline_path, docs, threshold_override):
+def check(baseline_path, docs, threshold_override, only):
     with open(baseline_path) as f:
         baseline = json.load(f)
     if baseline.get("schema") != "tf-bench-baseline-v1":
@@ -91,17 +99,28 @@ def check(baseline_path, docs, threshold_override):
                  if threshold_override is not None
                  else baseline.get("threshold", 0.15))
 
+    if only:
+        unknown = sorted(set(only) - set(baseline["scenarios"]))
+        if unknown:
+            sys.exit(f"--scenario {', '.join(unknown)}: "
+                     f"not in {baseline_path}")
+
     failures = []
     checked = 0
     for scenario, base in sorted(baseline["scenarios"].items()):
+        if only and scenario not in only:
+            continue
         doc = docs.get(scenario)
         if doc is None:
-            print(f"  [skip] {scenario}: no result file")
+            failures.append(
+                f"{scenario}: baselined but no result file "
+                f"(scenario dropped from the run?)")
             continue
         if doc["meta"]["config"] != base.get("config", "smoke"):
-            print(f"  [skip] {scenario}: config "
-                  f"{doc['meta']['config']} != baseline "
-                  f"{base.get('config')}")
+            failures.append(
+                f"{scenario}: config {doc['meta']['config']} != "
+                f"baseline {base.get('config')} (rerun with the "
+                f"baselined config or refresh with --update)")
             continue
         for metric, entry in sorted(base["metrics"].items()):
             ref = entry["value"]
@@ -122,8 +141,9 @@ def check(baseline_path, docs, threshold_override):
                     f"{scenario}.{metric}: {val:.4g} vs baseline "
                     f"{ref:.4g} ({change:+.1%}, {direction} is "
                     f"better, threshold {threshold:.0%})")
-    for name in sorted(set(docs) - set(baseline["scenarios"])):
-        print(f"  [new] {name}: not in baseline (run --update)")
+    if not only:
+        for name in sorted(set(docs) - set(baseline["scenarios"])):
+            print(f"  [new] {name}: not in baseline (run --update)")
 
     print(f"checked {checked} metrics against {baseline_path} "
           f"(threshold {threshold:.0%})")
@@ -145,15 +165,21 @@ def main():
                     help="override the baseline's threshold")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the results")
+    ap.add_argument("--scenario", action="append", default=None,
+                    help="gate only this baselined scenario "
+                         "(repeatable); default: all of them")
     args = ap.parse_args()
 
     docs = load_results(args.results)
     if args.update:
+        if args.scenario:
+            sys.exit("--update regenerates the whole baseline; "
+                     "it does not combine with --scenario")
         update_baseline(args.baseline, docs,
                         args.threshold if args.threshold is not None
                         else 0.15)
         return 0
-    return check(args.baseline, docs, args.threshold)
+    return check(args.baseline, docs, args.threshold, args.scenario)
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@
 
 #include "harness.hh"
 
+#include <array>
 #include <chrono>
 #include <fstream>
 #include <functional>
@@ -22,6 +23,7 @@
 #include "apps/stream.hh"
 #include "apps/voltdb.hh"
 #include "dc/trace.hh"
+#include "os/migration.hh"
 #include "sim/logging.hh"
 #include "sim/parallel/engine.hh"
 #include "system/rack.hh"
@@ -913,6 +915,252 @@ runFaultSoak(ScenarioContext &ctx)
                   });
 }
 
+// ----------------------- cache_vs_migration -------------------------
+
+enum class CvmMode { Local, Remote, Cache, Migrate };
+
+/**
+ * Working-set-vs-budget sweep. Points 0/1 are the references (local
+ * DRAM; uncached full-RTT remote); the cache points run the same
+ * skewed workload through the compute-side page cache at working
+ * sets of 0.5x / 2x / 4x the frame budget; the numa points run it
+ * under AutoNUMA-style page migration (the ablation_autonuma
+ * mitigation) at the same working sets.
+ */
+struct CvmPoint
+{
+    const char *label;
+    CvmMode mode;
+    double ratio; ///< working set as a multiple of the frame budget
+};
+
+constexpr CvmPoint kCvmPoints[] = {
+    {"local", CvmMode::Local, 0.0},
+    {"remote", CvmMode::Remote, 0.0},
+    {"cacheFit", CvmMode::Cache, 0.5},
+    {"cacheOver2x", CvmMode::Cache, 2.0},
+    {"cacheOver4x", CvmMode::Cache, 4.0},
+    {"numaFit", CvmMode::Migrate, 0.5},
+    {"numaOver2x", CvmMode::Migrate, 2.0},
+    {"numaOver4x", CvmMode::Migrate, 4.0},
+};
+
+constexpr std::size_t kCvmPointCount = std::size(kCvmPoints);
+
+void
+cacheVsMigrationPoint(ScenarioContext &sub, std::size_t point,
+                      int totalOps, double *p50OutUs)
+{
+    const CvmPoint &pt = kCvmPoints[point];
+    const std::string prefix = "p" + std::to_string(point);
+    constexpr std::uint32_t kBudget = 64; ///< cache frames
+    // Small pages keep fills cheap (64 lines) and the sweep fast.
+    constexpr std::uint64_t kPageBytes = 8 * 1024;
+    constexpr std::uint64_t kScanEvery = 500; ///< accesses per scan
+
+    auto eq = std::make_unique<sim::EventQueue>();
+    sys::TestbedParams tp;
+    tp.setup = sys::Setup::SingleDisaggregated;
+    tp.donatedBytes = 32ULL * 1024 * 1024;
+    tp.node.pageBytes = kPageBytes;
+    tp.node.cache = mem::CacheParams{4ULL * 1024 * 1024, 8, 128};
+    tp.seed = sub.seed();
+    if (pt.mode == CvmMode::Cache) {
+        tp.enablePageCache = true;
+        tp.pageCache.frameBudget = kBudget;
+        tp.pageCache.partitions = 4;
+        tp.pageCache.maxInflightFills = 4;
+        tp.pageCache.maxInflightFlushes = 2;
+        tp.pageCache.lineMlp = 8;
+        tp.pageCache.lowWatermark = 4;
+        tp.pageCache.highWatermark = 8;
+    }
+    auto bed = std::make_unique<sys::Testbed>(*eq, tp);
+    if (sub.traceEnabled()) {
+        eq->trace().setFull(true);
+        eq->trace().setIdTag(static_cast<std::uint32_t>(point) + 1);
+    }
+
+    auto &node = bed->serverA();
+    const std::uint64_t wsPages =
+        pt.ratio > 0.0
+            ? static_cast<std::uint64_t>(kBudget * pt.ratio)
+            : kBudget;
+    const std::uint64_t hotPages =
+        std::max<std::uint64_t>(1, wsPages / 10);
+    const mem::Addr windowBase =
+        bed->datapath()->compute().window().base;
+
+    // Per-mode address provider: page index -> physical line base.
+    std::vector<mem::Addr> localFrames;
+    std::unique_ptr<os::AddressSpace> space;
+    std::unique_ptr<os::AutoNuma> autonuma;
+    if (pt.mode == CvmMode::Local) {
+        for (std::uint64_t p = 0; p < wsPages; ++p) {
+            auto f = node.mm().allocPageOn(node.localNode());
+            TF_ASSERT(f.has_value(), "local reference out of memory");
+            localFrames.push_back(*f);
+        }
+    } else if (pt.mode == CvmMode::Migrate) {
+        space = std::make_unique<os::AddressSpace>(
+            node.mm(), node.localNode(),
+            os::AllocPolicy::bind({node.tflowNode()}));
+        os::AutoNumaParams anp;
+        anp.hotThreshold = 8;
+        anp.maxMigrationsPerScan = 32;
+        autonuma = std::make_unique<os::AutoNuma>(node.mm(), anp);
+    }
+    mem::Addr migVa =
+        space ? space->mmap(wsPages * kPageBytes) : 0;
+
+    bed->registerStats(sub.registry(), prefix);
+    eq->attachStats(sub.registry().at(prefix + ".eq"));
+
+    sim::SampleStat lat;
+    sim::Rng rng(sub.seed() ^
+                 (0x9e3779b97f4a7c15ULL * (point + 1)));
+    const int warmup = totalOps / 4;
+    const int window = 8; ///< workload MLP
+    int launched = 0, finished = 0, inflight = 0;
+    std::uint64_t migratedPages = 0;
+
+    // Page-copy cost of one migration: the kernel streams the page
+    // out of the donor before the local frame goes live.
+    auto chargeCopy = [&](std::uint64_t pageIdx) {
+        mem::Addr pageBase =
+            windowBase + (pageIdx % wsPages) * kPageBytes;
+        for (std::uint64_t off = 0; off < kPageBytes;
+             off += mem::cachelineBytes) {
+            auto rd = mem::makeTxn(mem::TxnType::ReadReq,
+                                   pageBase + off);
+            rd->onComplete = [](mem::MemTxn &) {};
+            node.issue(std::move(rd));
+        }
+    };
+
+    std::function<void()> issueOne = [&]() {
+        if (launched >= totalOps)
+            return;
+        int op = launched++;
+        std::uint64_t page =
+            rng.chance(0.9)
+                ? rng.below(hotPages)
+                : hotPages + rng.below(wsPages - hotPages);
+        std::uint64_t off = mem::alignDown(rng.below(kPageBytes),
+                                           mem::cachelineBytes);
+        bool write = rng.chance(0.3);
+
+        mem::Addr addr = 0;
+        switch (pt.mode) {
+          case CvmMode::Local:
+            addr = localFrames[page] + off;
+            break;
+          case CvmMode::Remote:
+          case CvmMode::Cache:
+            addr = windowBase + page * kPageBytes + off;
+            break;
+          case CvmMode::Migrate: {
+            mem::Addr va = migVa + page * kPageBytes + off;
+            autonuma->recordAccess(*space, va, node.localNode());
+            auto pa = space->translate(va);
+            TF_ASSERT(pa.has_value(), "migration leg out of memory");
+            addr = *pa;
+            if (op > 0 &&
+                static_cast<std::uint64_t>(op) % kScanEvery == 0) {
+                auto decisions = autonuma->scan();
+                migratedPages += decisions.size();
+                for (std::size_t m = 0; m < decisions.size(); ++m)
+                    chargeCopy(migratedPages + m);
+            }
+            break;
+          }
+        }
+
+        auto txn = mem::makeTxn(write ? mem::TxnType::WriteReq
+                                      : mem::TxnType::ReadReq,
+                                addr);
+        if (write)
+            txn->data.assign(mem::cachelineBytes,
+                             static_cast<std::uint8_t>(op & 0xff));
+        sim::Tick t0 = eq->now();
+        ++inflight;
+        txn->onComplete = [&, t0, op](mem::MemTxn &t) {
+            TF_ASSERT(t.status == mem::TxnStatus::Ok,
+                      "cache sweep access failed (%s)",
+                      mem::statusName(t.status));
+            ++finished;
+            --inflight;
+            if (op >= warmup)
+                lat.add(sim::toUs(eq->now() - t0));
+            issueOne();
+        };
+        node.issue(std::move(txn));
+    };
+    for (int i = 0; i < window && i < totalOps; ++i)
+        issueOne();
+    eq->run();
+
+    TF_ASSERT(finished == totalOps && inflight == 0,
+              "cache sweep lost accesses: %d launched, %d finished",
+              launched, finished);
+
+    *p50OutUs = lat.quantile(0.5);
+    sub.metric(prefix + ".accesses",
+               static_cast<double>(totalOps), "ops");
+    sub.latencyUs(prefix + ".lat", lat);
+    if (pt.mode == CvmMode::Cache) {
+        os::PageCache *pc = bed->pageCache();
+        TF_ASSERT(pc->hits() + pc->misses() ==
+                      static_cast<std::uint64_t>(totalOps),
+                  "cache accounting mismatch");
+        TF_ASSERT(pc->fillErrors() == 0 && pc->wbErrors() == 0,
+                  "cache sweep saw IO errors on a healthy path");
+        sub.metric(prefix + ".hitRate", pc->hitRate());
+        sub.metric(prefix + ".fills",
+                   static_cast<double>(pc->fills()), "pages");
+        sub.metric(prefix + ".evictions",
+                   static_cast<double>(pc->evictions()), "pages");
+        sub.metric(prefix + ".writebacks",
+                   static_cast<double>(pc->writebacks()), "pages");
+    } else if (pt.mode == CvmMode::Migrate) {
+        sub.metric(prefix + ".migratedPages",
+                   static_cast<double>(migratedPages), "pages");
+        auto res = space->residency();
+        sub.metric(prefix + ".localPages",
+                   static_cast<double>(res[node.localNode()]),
+                   "pages");
+    }
+    sub.addRun(*eq);
+    if (sub.traceEnabled())
+        sub.collectTrace(*eq, prefix);
+    sub.registry().freezeAll();
+}
+
+void
+runCacheVsMigration(ScenarioContext &ctx)
+{
+    const int totalOps = ctx.smoke() ? 4000 : 16000;
+    std::array<double, kCvmPointCount> p50Us{};
+    ctx.runPoints(kCvmPointCount,
+                  [&](ScenarioContext &sub, std::size_t i) {
+                      cacheVsMigrationPoint(sub, i, totalOps,
+                                            &p50Us[i]);
+                  });
+
+    // The headline claims, asserted on every run: the uncached
+    // window pays the full RTT, and a cache-friendly working set
+    // lands within 2x of local DRAM.
+    TF_ASSERT(p50Us[1] >= 4.0 * p50Us[0],
+              "uncached remote p50 %.3f us not >> local %.3f us",
+              p50Us[1], p50Us[0]);
+    TF_ASSERT(p50Us[2] <= 2.0 * p50Us[0],
+              "cache-friendly p50 %.3f us not within 2x of local "
+              "%.3f us",
+              p50Us[2], p50Us[0]);
+    ctx.metric("remoteP50VsLocal", p50Us[1] / p50Us[0], "x");
+    ctx.metric("cacheFitP50VsLocal", p50Us[2] / p50Us[0], "x");
+}
+
 } // namespace
 
 const std::vector<Scenario> &
@@ -947,6 +1195,10 @@ scenarios()
          "Chaos soak: seeded FaultPlans against the bonded testbed "
          "with invariant-checked recovery",
          true, runFaultSoak},
+        {"cache_vs_migration",
+         "Compute-side page cache vs AutoNUMA migration: skewed "
+         "working sets at 0.5x/2x/4x the frame budget",
+         true, runCacheVsMigration},
     };
     return table;
 }

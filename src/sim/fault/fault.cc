@@ -96,15 +96,28 @@ Plan::outage(Tick at, const std::string &point, Tick duration)
     return add(std::move(ev));
 }
 
+Plan &
+Plan::poison(Tick at, const std::string &point)
+{
+    Event ev;
+    ev.at = at;
+    ev.kind = Kind::CachePoison;
+    ev.point = point;
+    return add(std::move(ev));
+}
+
 Plan
 Plan::randomized(std::uint64_t seed, Tick horizon, const Registry &reg,
                  std::size_t count)
 {
     // Transient kinds only: a random soak must keep the bed alive so
     // the invariants (all bytes readable back) stay checkable.
+    // CachePoison qualifies: the cache refetches a poisoned frame from
+    // the donor, so data stays correct.
     static constexpr Kind kDrawable[] = {
         Kind::ChannelFlap, Kind::BurstLoss,  Kind::LatencySpike,
         Kind::DramStall,   Kind::CreditStarve, Kind::ControlOutage,
+        Kind::CachePoison,
     };
 
     Rng rng(seed);

@@ -44,9 +44,10 @@ enum class Kind : std::uint8_t {
     DramStall,       ///< donor DRAM stops serving for `duration`
     CreditStarve,    ///< Rx credit returns swallowed for `duration`
     ControlOutage,   ///< control plane defers link events
+    CachePoison,     ///< hwpoison one clean resident page-cache frame
 };
 
-constexpr int kKindCount = static_cast<int>(Kind::ControlOutage) + 1;
+constexpr int kKindCount = static_cast<int>(Kind::CachePoison) + 1;
 
 /** Stable kind name for stats keys and logs. */
 constexpr const char *
@@ -60,6 +61,7 @@ kindName(Kind k)
       case Kind::DramStall:     return "dramStall";
       case Kind::CreditStarve:  return "creditStarve";
       case Kind::ControlOutage: return "controlOutage";
+      case Kind::CachePoison:   return "cachePoison";
     }
     return "unknown";
 }
@@ -127,6 +129,7 @@ class Plan
     Plan &stall(Tick at, const std::string &point, Tick duration);
     Plan &starve(Tick at, const std::string &point, Tick duration);
     Plan &outage(Tick at, const std::string &point, Tick duration);
+    Plan &poison(Tick at, const std::string &point);
 
     const std::vector<Event> &events() const { return _events; }
     bool empty() const { return _events.empty(); }

@@ -48,6 +48,9 @@ enum class Stage : std::uint8_t {
     StackUp,        ///< host FPGA stack, response direction
     HostSerdesUp,   ///< host serDES, response direction
     Eth,            ///< Ethernet message (client / inter-rack traffic)
+    CacheHit,       ///< page-cache access served from a local frame
+    CacheMiss,      ///< page-cache access waiting on a remote fill
+    CacheWb,        ///< page-cache dirty write-back to the donor
     Fault,          ///< injected fault active at a fault point
 };
 
@@ -74,6 +77,9 @@ stageName(Stage s)
       case Stage::StackUp:         return "stackUp";
       case Stage::HostSerdesUp:    return "hostSerdesUp";
       case Stage::Eth:             return "eth";
+      case Stage::CacheHit:        return "cacheHit";
+      case Stage::CacheMiss:       return "cacheMiss";
+      case Stage::CacheWb:         return "cacheWb";
       case Stage::Fault:           return "fault";
     }
     return "unknown";

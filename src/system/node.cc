@@ -33,6 +33,14 @@ Node::attachDatapath(flow::Datapath &dp)
 }
 
 void
+Node::attachPageCache(os::PageCache &pc)
+{
+    TF_ASSERT(_datapath != nullptr,
+              "attach the datapath before its page cache");
+    _pageCache = &pc;
+}
+
+void
 Node::issue(mem::TxnPtr txn)
 {
     TF_ASSERT(mem::isRequest(txn->type), "host bus takes requests");
@@ -54,7 +62,10 @@ Node::issue(mem::TxnPtr txn)
             if (inner)
                 inner(t);
         };
-        _datapath->issue(std::move(txn));
+        if (_pageCache != nullptr)
+            _pageCache->access(std::move(txn));
+        else
+            _datapath->issue(std::move(txn));
         return;
     }
     _localAccesses.inc();

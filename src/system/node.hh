@@ -16,6 +16,7 @@
 #include "agent/agent.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "os/pagecache/pagecache.hh"
 #include "tflow/datapath.hh"
 
 namespace tf::sys {
@@ -63,6 +64,14 @@ class Node
     flow::Datapath *datapath() { return _datapath; }
 
     /**
+     * Interpose a page cache on the remote path: M1-window requests
+     * go through the cache (hits stay in local DRAM, misses stream
+     * the page from the donor) instead of straight to the datapath.
+     */
+    void attachPageCache(os::PageCache &pc);
+    os::PageCache *pageCache() { return _pageCache; }
+
+    /**
      * Host bus entry: route a cacheline request by physical address
      * (local DRAM, or the M1 window). onComplete fires on response.
      */
@@ -90,6 +99,7 @@ class Node
     ocapi::PasidRegistry _pasids;
     std::unique_ptr<agent::Agent> _agent;
     flow::Datapath *_datapath = nullptr;
+    os::PageCache *_pageCache = nullptr;
     sim::Counter _localAccesses;
     sim::Counter _remoteAccesses;
     sim::Counter _remoteErrors;

@@ -86,6 +86,18 @@ Testbed::composeDisaggregated(int channels)
     TF_ASSERT(id.has_value(),
               "testbed failed to compose disaggregated memory");
     _allocationId = *id;
+
+    if (_params.enablePageCache) {
+        os::PageCacheParams pcp = _params.pageCache;
+        // The cache pages the same units the kernel does.
+        pcp.pageBytes = _params.node.pageBytes;
+        flow::Datapath *dp = _datapath.get();
+        _pageCache = std::make_unique<os::PageCache>(
+            "serverA.pagecache", _eq, pcp, _serverA->mm(),
+            _serverA->localNode(), _serverA->dram(),
+            [dp](mem::TxnPtr txn) { dp->issue(std::move(txn)); });
+        _serverA->attachPageCache(*_pageCache);
+    }
 }
 
 os::AllocPolicy
@@ -140,6 +152,11 @@ Testbed::registerFaultPoints(sim::fault::Registry &reg)
     mem::Dram *donor = &_serverB->dram();
     reg.add("serverB.dram", kindBit(Kind::DramStall),
             [donor](const Event &ev) { donor->stall(ev.duration); });
+    if (_pageCache) {
+        os::PageCache *pc = _pageCache.get();
+        reg.add("cache", kindBit(Kind::CachePoison),
+                [pc](const Event &) { pc->poisonCleanPage(); });
+    }
 }
 
 void
@@ -156,6 +173,8 @@ Testbed::registerStats(sim::StatsRegistry &reg,
         _cp->attachStats(reg.at(path("ctrl")));
     _network.registerStats(reg, path("net"));
     _serverB->dram().attachStats(reg.at(path("serverB.dram")));
+    if (_pageCache)
+        _pageCache->attachStats(reg.at(path("cache")));
 }
 
 } // namespace tf::sys

@@ -49,6 +49,12 @@ struct TestbedParams
     /** Memory stolen from server B in the disaggregated setups. */
     std::uint64_t donatedBytes = 512ULL * 1024 * 1024;
     std::uint64_t seed = 42;
+    /**
+     * Interpose a compute-side page cache between server A's host
+     * bus and the datapath (disaggregated setups only).
+     */
+    bool enablePageCache = false;
+    os::PageCacheParams pageCache;
 };
 
 class Testbed
@@ -67,6 +73,7 @@ class Testbed
     net::Network &network() { return _network; }
     ctrl::ControlPlane &controlPlane() { return *_cp; }
     flow::Datapath *datapath() { return _datapath.get(); }
+    os::PageCache *pageCache() { return _pageCache.get(); }
     sim::Rng &rng() { return _rng; }
 
     /** Page policy applications on server A should run under. */
@@ -118,6 +125,7 @@ class Testbed
     std::unique_ptr<CpuSet> _cpuB;
     net::Network _network;
     std::unique_ptr<flow::Datapath> _datapath;
+    std::unique_ptr<os::PageCache> _pageCache;
     std::unique_ptr<ctrl::ControlPlane> _cp;
     std::uint64_t _allocationId = 0;
 

@@ -1,13 +1,15 @@
 #!/bin/sh
 # Same-seed determinism cross-check for the parallel bench harness.
 #
-# Runs the smoke-sized proto_datapath, fig05_stream and fault_soak
-# scenarios with --jobs 1, 2 and 4 and requires every result document
-# to be byte-identical (--no-wall strips the only legitimately
-# varying field). This is the end-to-end guarantee the parallel
-# engine and the point-sharding harness promise: worker count must
-# not be observable in any output — including the chaos soak, whose
-# seeded FaultPlans must replay identically on every worker layout.
+# Runs the smoke-sized proto_datapath, fig05_stream, fault_soak and
+# cache_vs_migration scenarios with --jobs 1, 2 and 4 and requires
+# every result document to be byte-identical (--no-wall strips the
+# only legitimately varying field). This is the end-to-end guarantee
+# the parallel engine and the point-sharding harness promise: worker
+# count must not be observable in any output — including the chaos
+# soak, whose seeded FaultPlans must replay identically on every
+# worker layout, and the page cache, whose fill/flush/provider
+# machinery must not leak scheduling order into its stats.
 #
 # Usage: check_determinism.sh <path-to-tf_bench>
 
@@ -22,12 +24,12 @@ fi
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
-scenarios="proto_datapath fig05_stream fault_soak"
+scenarios="proto_datapath fig05_stream fault_soak cache_vs_migration"
 for jobs in 1 2 4; do
     mkdir -p "$workdir/j$jobs"
     "$bench" --smoke --no-wall --seed 42 --jobs "$jobs" \
         --scenario proto_datapath --scenario fig05_stream \
-        --scenario fault_soak \
+        --scenario fault_soak --scenario cache_vs_migration \
         --out "$workdir/j$jobs" > /dev/null
 done
 
