@@ -9,6 +9,10 @@
  *  3. Frame error rate: replay cost (go-back-N) on loaded links.
  *  4. Interleave ratio: sweeping the local:remote page mix between
  *     pure-disaggregated and pure-local STREAM bandwidth.
+ *  5. Credit depth x frame size under cut-through framing: the
+ *     trace.attr latency table (llcReq/c1/llcResp/total p50+p99) per
+ *     sweep point, used to pick the FlowParams defaults that hold
+ *     the loaded remote p99 under 2 us.
  */
 
 #include <cstdio>
@@ -16,6 +20,7 @@
 #include "apps/stream.hh"
 #include "common.hh"
 #include "mem/dram.hh"
+#include "sim/trace/export.hh"
 
 using namespace tf;
 
@@ -32,12 +37,21 @@ struct LoadedRun
     std::uint64_t padFlits = 0;
     std::uint64_t creditStalls = 0;
     std::uint64_t replays = 0;
+    // Stage attribution (filled when the run traces spans), in ns.
+    double reqP99 = 0;
+    double c1P99 = 0;
+    double respP99 = 0;
+    double totalP50 = 0;
+    double totalP99 = 0;
 };
 
 LoadedRun
-runLoaded(flow::FlowParams params, int total = 25000)
+runLoaded(flow::FlowParams params, int total = 25000,
+          bool traced = false)
 {
     sim::EventQueue eq;
+    if (traced)
+        eq.trace().setFull(true);
     sim::Rng rng{3};
     mem::BackingStore store;
     mem::Dram dram("donorDram", eq, mem::DramParams{}, &store);
@@ -75,6 +89,20 @@ runLoaded(flow::FlowParams params, int total = 25000)
                      dp.channel(0).txB().creditStalls();
     r.replays = dp.channel(0).txA().replayedFrames() +
                 dp.channel(0).txB().replayedFrames();
+    if (traced) {
+        sim::trace::TraceCollector collector;
+        collector.addBuffer(eq.trace(), "rig");
+        sim::trace::Attribution attr = collector.attribution();
+        auto p99 = [&](sim::trace::Stage s) {
+            return attr.stageNs[static_cast<std::size_t>(s)].quantile(
+                0.99);
+        };
+        r.reqP99 = p99(sim::trace::Stage::LlcReq);
+        r.c1P99 = p99(sim::trace::Stage::C1);
+        r.respP99 = p99(sim::trace::Stage::LlcResp);
+        r.totalP50 = attr.totalNs.quantile(0.50);
+        r.totalP99 = attr.totalNs.quantile(0.99);
+    }
     return r;
 }
 
@@ -176,6 +204,26 @@ main()
                      (1024.0 * 1024 * 1024) /
                      sim::toSec(eq.now() - start);
         std::printf("%d:1 %16.2f\n", local_share, gib);
+    }
+
+    std::printf("\n=== Ablation 5: credit depth x frame size "
+                "(cut-through, 192-deep read stream) ===\n");
+    std::printf("%-8s %-8s %8s %9s %9s %9s %9s %9s\n", "credits",
+                "flits", "GiB/s", "reqP99", "c1P99", "respP99",
+                "totP50", "totP99");
+    for (std::uint32_t credits : {16u, 32u, 64u, 128u}) {
+        for (std::uint32_t flits : {8u, 16u, 32u, 64u, 128u}) {
+            flow::FlowParams p;
+            p.cutThrough = true;
+            p.rxQueueFrames = credits;
+            p.replayBufferFrames = std::max(credits * 4, 64u);
+            p.frameFlits = flits;
+            auto r = runLoaded(p, 25000, true);
+            std::printf(
+                "%-8u %-8u %8.2f %9.0f %9.0f %9.0f %9.0f %9.0f\n",
+                credits, flits, r.gibs, r.reqP99, r.c1P99, r.respP99,
+                r.totalP50, r.totalP99);
+        }
     }
     return 0;
 }

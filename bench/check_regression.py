@@ -12,6 +12,15 @@ code change, not noise; the 15% default threshold only keeps
 intentional model retunes from needing a baseline refresh for every
 small shift.
 
+Every baselined metric carries an explicit direction; an entry
+without one is a hard failure (never a silent higher-is-better
+guess), and --update refuses to classify a metric that matches no
+polarity hint. The baseline's optional "ceilings" section adds
+absolute lower-is-better budgets (e.g. the sub-2 us
+trace.attr.total.p99Ns gate on proto_datapath) that hold no matter
+where the relative baseline drifts; --update carries them forward
+untouched.
+
 Every baselined scenario must be present in the results with a
 matching config; an absent result file or a smoke/full mismatch is a
 hard failure, not a skip, so a CI leg that silently stops running a
@@ -34,19 +43,36 @@ import json
 import os
 import sys
 
+# Polarity hints. A metric name must match exactly one of the two
+# lists; --update refuses to baseline a metric it cannot classify and
+# check() hard-fails a baseline entry without an explicit direction.
+# The quantile suffixes (Us/Ns cover latP99Us, rttP95Ns and every
+# trace.attr.<stage>.{p50,p95,p99}Ns attribution metric) are the ones
+# the p99 gates ride on: an unhinted latency metric silently gated in
+# the higher-is-better direction would wave regressions through.
 LOWER_IS_BETTER_HINTS = (
     "Us", "Ns", "latency", "replay", "stall", "drop", "teardown",
     "HighWater", "Compactions", "Cancelled", "recovery", "error",
     "timedOut",
 )
 
+HIGHER_IS_BETTER_HINTS = (
+    "GiBs", "Bps", "hit", "ops", "Ops", "accesses", "txns",
+    "windows", "eventsPerSec", "eventsTotal", "fills", "evictions",
+    "writebacks", "Pages", "Alive", "faultsFired", "VsLocal",
+    "count", "copy", "Msgs", "speedup", "jobsParallel",
+)
+
 
 def infer_direction(name):
-    """Metric polarity from its name; used only by --update."""
-    for hint in LOWER_IS_BETTER_HINTS:
-        if hint in name:
-            return "lower"
-    return "higher"
+    """Metric polarity from its name, or None when no hint matches
+    (or both do) -- callers must treat None as an error, never guess.
+    """
+    lower = any(h in name for h in LOWER_IS_BETTER_HINTS)
+    higher = any(h in name for h in HIGHER_IS_BETTER_HINTS)
+    if lower == higher:
+        return None
+    return "lower" if lower else "higher"
 
 
 def load_results(results_dir):
@@ -64,24 +90,40 @@ def load_results(results_dir):
 
 
 def update_baseline(baseline_path, docs, threshold):
+    # Absolute ceilings are curated by hand, not measured: carry them
+    # across refreshes so --update cannot silently drop a gate.
+    ceilings = {}
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as f:
+            ceilings = json.load(f).get("ceilings", {})
+
     scenarios = {}
+    unclassified = []
     for name, doc in sorted(docs.items()):
+        metrics = {}
+        for metric, value in sorted(doc["metrics"].items()):
+            direction = infer_direction(metric)
+            if direction is None:
+                unclassified.append(f"{name}.{metric}")
+                continue
+            metrics[metric] = {"value": value, "direction": direction}
         scenarios[name] = {
             "config": doc["meta"]["config"],
             "seed": doc["meta"]["seed"],
-            "metrics": {
-                metric: {
-                    "value": value,
-                    "direction": infer_direction(metric),
-                }
-                for metric, value in doc["metrics"].items()
-            },
+            "metrics": metrics,
         }
+    if unclassified:
+        sys.exit("refusing to baseline metrics with no (or an "
+                 "ambiguous) polarity hint -- extend the hint lists "
+                 "in check_regression.py:\n  " +
+                 "\n  ".join(unclassified))
     baseline = {
         "schema": "tf-bench-baseline-v1",
         "threshold": threshold,
         "scenarios": scenarios,
     }
+    if ceilings:
+        baseline["ceilings"] = ceilings
     with open(baseline_path, "w") as f:
         json.dump(baseline, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -124,7 +166,16 @@ def check(baseline_path, docs, threshold_override, only):
             continue
         for metric, entry in sorted(base["metrics"].items()):
             ref = entry["value"]
-            direction = entry.get("direction", "higher")
+            # No guessing: a gated metric whose baseline entry lacks
+            # an explicit polarity would otherwise be compared in an
+            # arbitrary direction and could silently pass a regression.
+            direction = entry.get("direction")
+            if direction not in ("higher", "lower"):
+                failures.append(
+                    f"{scenario}.{metric}: baseline entry has no "
+                    f"explicit direction (refresh with --update, "
+                    f"extending the hint lists if needed)")
+                continue
             if metric not in doc["metrics"]:
                 failures.append(
                     f"{scenario}.{metric}: missing from results")
@@ -141,6 +192,29 @@ def check(baseline_path, docs, threshold_override, only):
                     f"{scenario}.{metric}: {val:.4g} vs baseline "
                     f"{ref:.4g} ({change:+.1%}, {direction} is "
                     f"better, threshold {threshold:.0%})")
+
+    # Absolute ceilings: latency budgets that must hold regardless of
+    # how the baseline drifts (a 15% relative gate on an already-slow
+    # baseline still passes; the ceiling does not). Lower-is-better by
+    # construction.
+    for scenario, caps in sorted(baseline.get("ceilings", {}).items()):
+        if only and scenario not in only:
+            continue
+        doc = docs.get(scenario)
+        if doc is None:
+            continue  # absence already failed above if baselined
+        for metric, cap in sorted(caps.items()):
+            if metric not in doc["metrics"]:
+                failures.append(
+                    f"{scenario}.{metric}: ceiling {cap:g} but metric "
+                    f"missing from results")
+                continue
+            checked += 1
+            val = doc["metrics"][metric]
+            if val > cap:
+                failures.append(
+                    f"{scenario}.{metric}: {val:.4g} exceeds absolute "
+                    f"ceiling {cap:g}")
     if not only:
         for name in sorted(set(docs) - set(baseline["scenarios"])):
             print(f"  [new] {name}: not in baseline (run --update)")

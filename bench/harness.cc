@@ -123,6 +123,7 @@ ScenarioContext::runPoints(
                                                      _smoke);
         sub->setOutDir(_outDir);
         sub->setTraceEnabled(_traceEnabled);
+        sub->setCutThroughOverride(_cutThrough);
         return sub;
     };
 
@@ -248,6 +249,7 @@ usage(const char *argv0)
                  "usage: %s [--list] [--smoke] [--scenario NAME]...\n"
                  "          [--seed N] [--out DIR] [--jobs N]\n"
                  "          [--no-wall] [--trace FILE]\n"
+                 "          [--cut-through on|off]\n"
                  "  --list           list scenarios and exit\n"
                  "  --smoke          CI-sized runs, smoke subset only\n"
                  "  --scenario NAME  run NAME (repeatable); default:\n"
@@ -265,7 +267,12 @@ usage(const char *argv0)
                  "                   --jobs) and add trace.attr.*\n"
                  "                   latency attribution to the BENCH\n"
                  "                   JSON; with several scenarios the\n"
-                 "                   file is FILE.<scenario>\n",
+                 "                   file is FILE.<scenario>\n"
+                 "  --cut-through on|off\n"
+                 "                   override the response-framing\n"
+                 "                   mode for scenarios that honour\n"
+                 "                   it (default: FlowParams default,\n"
+                 "                   i.e. cut-through on)\n",
                  argv0);
     return 2;
 }
@@ -279,6 +286,7 @@ struct Options
     std::uint64_t seed = 42;
     std::string outDir = ".";
     std::string traceFile;
+    std::optional<bool> cutThrough;
     std::vector<std::string> names;
 };
 
@@ -309,6 +317,7 @@ runScenarios(const Options &opt)
         ctx.setJobs(opt.jobs);
         ctx.setOutDir(opt.outDir);
         ctx.setTraceEnabled(!opt.traceFile.empty());
+        ctx.setCutThroughOverride(opt.cutThrough);
         auto start = std::chrono::steady_clock::now();
         s->run(ctx);
         double wallMs =
@@ -316,8 +325,13 @@ runScenarios(const Options &opt)
                 std::chrono::steady_clock::now() - start)
                 .count();
 
+        // Scenarios with always-on span points (proto_datapath's RTT
+        // and single-flow quantile rigs) carry an attribution table on
+        // every run, so the trace.attr.*.p99Ns gates work in plain
+        // smoke CI; for everything else the collector is empty and
+        // this is a no-op unless --trace widened the collection.
+        ctx.appendTraceMetrics();
         if (!opt.traceFile.empty()) {
-            ctx.appendTraceMetrics();
             std::string tracePath =
                 selected.size() == 1
                     ? opt.traceFile
@@ -380,6 +394,14 @@ parseAndRun(int argc, char **argv,
             opt.noWall = true;
         } else if (arg == "--trace" && i + 1 < argc) {
             opt.traceFile = argv[++i];
+        } else if (arg == "--cut-through" && i + 1 < argc) {
+            std::string v = argv[++i];
+            if (v == "on")
+                opt.cutThrough = true;
+            else if (v == "off")
+                opt.cutThrough = false;
+            else
+                return usage(argv[0]);
         } else {
             return usage(argv[0]);
         }

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,26 @@ class ScenarioContext
     bool traceEnabled() const { return _traceEnabled; }
     void setTraceEnabled(bool on) { _traceEnabled = on; }
 
+    /**
+     * Response-framing override (--cut-through on|off). Unset means
+     * the FlowParams default; scenarios that build datapaths apply it
+     * so the same binary can A/B the framing modes without a rebuild.
+     */
+    std::optional<bool> cutThroughOverride() const
+    {
+        return _cutThrough;
+    }
+    void setCutThroughOverride(std::optional<bool> v)
+    {
+        _cutThrough = v;
+    }
+    /** Apply the override (if any) to a FlowParams in place. */
+    void applyFlowOverrides(flow::FlowParams &fp) const
+    {
+        if (_cutThrough)
+            fp.cutThrough = *_cutThrough;
+    }
+
     /** Snapshot a queue's trace buffer under a node label. */
     void collectTrace(const sim::EventQueue &eq, std::string node);
 
@@ -173,6 +194,7 @@ class ScenarioContext
     std::uint64_t _seed;
     bool _smoke;
     bool _traceEnabled = false;
+    std::optional<bool> _cutThrough;
     unsigned _jobs = 1;
     std::string _outDir = ".";
     sim::StatsRegistry _registry;

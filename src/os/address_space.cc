@@ -4,7 +4,8 @@ namespace tf::os {
 
 AddressSpace::AddressSpace(MemoryManager &mm, NodeId homeNode,
                            AllocPolicy policy)
-    : _mm(mm), _homeNode(homeNode), _policy(std::move(policy))
+    : _mm(mm), _id(mm.nextSpaceId()), _homeNode(homeNode),
+      _policy(std::move(policy))
 {
 }
 

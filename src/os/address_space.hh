@@ -27,6 +27,8 @@ class AddressSpace
                  AllocPolicy policy = AllocPolicy::local());
 
     NodeId homeNode() const { return _homeNode; }
+    /** Manager-scoped id; stable across runs, unlike `this`. */
+    std::uint64_t id() const { return _id; }
     AllocPolicy &policy() { return _policy; }
     void setPolicy(AllocPolicy p) { _policy = std::move(p); }
 
@@ -72,6 +74,7 @@ class AddressSpace
 
   private:
     MemoryManager &_mm;
+    std::uint64_t _id;
     NodeId _homeNode;
     AllocPolicy _policy;
     mem::Addr _nextVBase = 0x0000'7f00'0000'0000ULL;

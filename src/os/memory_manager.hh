@@ -45,6 +45,15 @@ class MemoryManager
     std::uint64_t pageBytes() const { return _pageBytes; }
 
     /**
+     * Hand out a manager-scoped address-space id. Ids replace object
+     * addresses wherever a space must act as a map key (AutoNUMA heat
+     * tracking): pointer values depend on allocator and thread layout,
+     * so hashing them leaks worker interleaving into hash-iteration
+     * order and breaks --jobs determinism.
+     */
+    std::uint64_t nextSpaceId() { return _nextSpaceId++; }
+
+    /**
      * Online a section at physical @p base into NUMA node @p node
      * (memory hotplug "probe + online"). Base must be section-aligned
      * and not already online.
@@ -117,6 +126,7 @@ class MemoryManager
     std::vector<std::deque<mem::Addr>> _freeLists; // per node
     std::vector<std::uint64_t> _totalPages;        // per node
     std::set<mem::Addr> _poisoned; // retired frames (page-aligned)
+    std::uint64_t _nextSpaceId = 1;
 
     void ensureNode(NodeId node);
     Section *sectionOf(mem::Addr addr);

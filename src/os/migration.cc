@@ -12,10 +12,13 @@ AutoNuma::AutoNuma(MemoryManager &mm, AutoNumaParams params)
 std::uint64_t
 AutoNuma::key(const AddressSpace &space, mem::Addr vaddr) const
 {
-    auto sp = reinterpret_cast<std::uintptr_t>(&space);
+    // Keyed by the manager-scoped space id, never the object address:
+    // pointer values vary with allocator/thread layout, and the hash
+    // iteration order of _heat feeds candidate collection, so an
+    // address-derived key would leak --jobs worker interleaving into
+    // migration order (and, with a banked DRAM, into timing).
     std::uint64_t vpn = vaddr / _mm.pageBytes();
-    return (static_cast<std::uint64_t>(sp) * 0x9e3779b97f4a7c15ULL) ^
-           vpn;
+    return (space.id() * 0x9e3779b97f4a7c15ULL) ^ vpn;
 }
 
 void
@@ -59,9 +62,16 @@ AutoNuma::scan()
             _mm.topology().distance(h.accessor, h.accessor))
             candidates.push_back(&h);
     }
+    // Full ordering (ties broken by space id, then address): equal
+    // heat counts are common under skewed workloads, and the frame a
+    // page receives from allocPageOn depends on its position here.
     std::sort(candidates.begin(), candidates.end(),
               [](const PageHeat *a, const PageHeat *b) {
-                  return a->count > b->count;
+                  if (a->count != b->count)
+                      return a->count > b->count;
+                  if (a->space->id() != b->space->id())
+                      return a->space->id() < b->space->id();
+                  return a->vaddr < b->vaddr;
               });
 
     std::vector<Migration> done;

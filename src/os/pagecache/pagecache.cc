@@ -477,6 +477,19 @@ void
 PageCache::providerTick()
 {
     _providerArmed = false;
+    if (_params.providerPressureLatency > 0 &&
+        _dram.estimatedLatency(mem::cachelineBytes) >
+            _params.providerPressureLatency) {
+        // The local controller is stalled or deeply backlogged (the
+        // banked estimate covers frozen bank cursors and queued
+        // bytes alike): eviction write-backs would stage their dirty
+        // lines into that backlog. Defer the sweep a period; misses
+        // still evict inline, so nothing can wedge on this.
+        _providerDeferrals.inc();
+        _providerArmed = true;
+        after(_params.providerPeriod, [this] { providerTick(); });
+        return;
+    }
     _providerRuns.inc();
     while (_freeCount < _params.highWatermark) {
         if (!evictOne())
@@ -585,6 +598,8 @@ PageCache::attachStats(sim::StatSet &set)
                "frames retired by injected hwpoison");
     set.attach("providerRuns", _providerRuns, "runs",
                "background page-provider wakeups");
+    set.attach("providerDeferrals", _providerDeferrals, "runs",
+               "sweeps deferred on local-controller pressure");
     set.attach("hitRate", _hitRate, "ratio",
                "1 per hit, 0 per miss; mean is the hit rate");
     set.attach("hitNs", _hitNs, "ns",

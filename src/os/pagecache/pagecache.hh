@@ -66,6 +66,16 @@ struct PageCacheParams
     std::uint32_t lowWatermark = 4;
     /** ... and evicts until it is back up to this. */
     std::uint32_t highWatermark = 8;
+    /**
+     * Local-controller pressure gate: when the local DRAM's
+     * estimatedLatency for one cacheline exceeds this, the provider
+     * defers its eviction sweep to the next period instead of piling
+     * write-back staging reads onto a stalled or deeply backlogged
+     * controller (the banked estimate reflects both queue and frozen
+     * bank cursors). Misses still evict inline, so a deferral never
+     * wedges the cache. 0 disables the gate.
+     */
+    sim::Tick providerPressureLatency = sim::microseconds(2);
 };
 
 /**
@@ -124,6 +134,10 @@ class PageCache : public sim::SimObject
     std::uint64_t rescues() const { return _rescues.value(); }
     std::uint64_t poisonedFrames() const { return _poisonedFrames.value(); }
     std::uint64_t providerRuns() const { return _providerRuns.value(); }
+    std::uint64_t providerDeferrals() const
+    {
+        return _providerDeferrals.value();
+    }
     double hitRate() const { return _hitRate.mean(); }
 
     /** Resident (servable) pages right now. */
@@ -242,6 +256,7 @@ class PageCache : public sim::SimObject
     sim::Counter _rescues;
     sim::Counter _poisonedFrames;
     sim::Counter _providerRuns;
+    sim::Counter _providerDeferrals;
     sim::Summary _hitRate;
     sim::QuantileSketch _hitNs;
     sim::QuantileSketch _missNs;

@@ -185,6 +185,7 @@ TraceCollector::attribution() const
     // otherwise drag the end-to-end distribution down. Ordered maps
     // keep iteration deterministic.
     std::map<TraceId, double> totals;
+    std::set<TraceId> started;
     std::set<TraceId> complete;
     for (const NodeTrace &node : _nodes) {
         // Begin/end edges of one span always land in the same buffer.
@@ -193,6 +194,8 @@ TraceCollector::attribution() const
             int stage = static_cast<int>(ev.stage);
             auto key = std::make_pair(ev.id, stage);
             if (ev.kind == SpanEvent::Kind::Begin) {
+                if (ev.stage == Stage::TagQueue)
+                    started.insert(ev.id);
                 open[key] = ev.tick;
                 continue;
             }
@@ -207,8 +210,13 @@ TraceCollector::attribution() const
                 complete.insert(ev.id);
         }
     }
+    // A round trip feeds totalNs only when both edges of its life are
+    // inside the collection window: it entered the tag queue after
+    // the last clear() AND closed the final host stage. Trips already
+    // in flight when a measured phase starts would otherwise
+    // contribute truncated totals and drag the distribution down.
     for (const auto &[id, ns] : totals)
-        if (complete.count(id))
+        if (complete.count(id) && started.count(id))
             attr.totalNs.add(ns);
     return attr;
 }

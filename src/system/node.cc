@@ -1,5 +1,7 @@
 #include "system/node.hh"
 
+#include <algorithm>
+
 namespace tf::sys {
 
 Node::Node(std::string name, sim::EventQueue &eq, NodeParams params)
@@ -10,6 +12,8 @@ Node::Node(std::string name, sim::EventQueue &eq, NodeParams params)
     // A CPU-less node is pre-created for hotplugged ThymesisFlow
     // memory; its distance reflects the remote access RTT.
     _tflowNode = _topo.addNode(_name + ".tflow0", false);
+    // Placeholder until a datapath attaches; attachDatapath derives
+    // the real SLIT distance from measured latency estimates.
     _topo.setDistance(_localNode, _tflowNode, 80);
 
     _mm = std::make_unique<os::MemoryManager>(
@@ -30,6 +34,23 @@ void
 Node::attachDatapath(flow::Datapath &dp)
 {
     _datapath = &dp;
+    // SLIT distance of the hotplugged node, local = 10 convention:
+    // scale by the measured latency ratio of one remote cacheline
+    // (flit RTT budget + the local controller's banked estimate as a
+    // stand-in for the donor's) to one local cacheline. The banked
+    // estimatedLatency feeds both sides, so bank backlog at attach
+    // time shifts placement policy the way real ACPI SLITs bake in
+    // controller load assumptions.
+    sim::Tick local = _dram->estimatedLatency(mem::cachelineBytes);
+    const flow::FlowParams &fp = dp.params();
+    sim::Tick remote = 6 * fp.serdesLatency + 4 * fp.fpgaStackLatency +
+                       2 * fp.wireLatency +
+                       _dram->estimatedLatency(mem::cachelineBytes);
+    int distance = 10;
+    if (local > 0)
+        distance = static_cast<int>((10 * remote + local / 2) / local);
+    _topo.setDistance(_localNode, _tflowNode,
+                      std::clamp(distance, 11, 254));
 }
 
 void

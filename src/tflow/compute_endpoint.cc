@@ -145,6 +145,14 @@ ComputeEndpoint::abortOutstanding(mem::NetworkId id)
             ++it;
         }
     }
+    // Map order is hash-order (and the keys are process-global ids,
+    // so even the hash layout varies run to run); complete oldest-
+    // first like the deadline sweep so downstream reissue order is
+    // deterministic.
+    std::sort(doomed.begin(), doomed.end(),
+              [](const mem::TxnPtr &a, const mem::TxnPtr &b) {
+                  return a->id < b->id;
+              });
     for (auto &txn : doomed) {
         // The aborted transaction may still be live inside the LLC
         // buffers or the donor pipeline: frames carry the very same

@@ -39,6 +39,20 @@ struct Frame
 using FramePtr = std::shared_ptr<Frame>;
 
 /**
+ * Flits a transaction occupies in a coalesced (cut-through) frame:
+ * payload flits only for data-bearing transactions — their
+ * per-transaction header fields ride the frame's shared header
+ * flit's slot table — while payload-less transactions (read
+ * requests, write acks) still pay their single header flit.
+ */
+inline std::uint32_t
+coalescedFlitCount(const mem::MemTxn &txn)
+{
+    std::uint32_t flits = mem::flitCount(txn);
+    return flits > 1 ? flits - 1 : 1;
+}
+
+/**
  * Freelist pool for Frame objects.
  *
  * Every wire transmission allocates a Frame (and its txns vector); at

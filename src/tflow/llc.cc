@@ -45,6 +45,12 @@ void
 Wire::recover()
 {
     _failed = false;
+    // Retrain leaves no error-model residue: a repaired wire must not
+    // resume mid-burst or mid-bad-state — the outage outlives the
+    // disturbance those chains modelled.
+    _geBad = false;
+    _burstUntil = 0;
+    _burstBad = false;
 }
 
 void
@@ -106,12 +112,15 @@ Wire::sendFrame(FramePtr frame)
     TF_ASSERT(_onFrame != nullptr, "%s: wire not connected",
               name().c_str());
 
-    // Frames always occupy the full frame size (padding included).
-    // A dead wire still serialises: the transmitter has no carrier
-    // detect, so it keeps pacing against _nextFree as usual.
-    std::uint32_t bytes = _params.frameFlits * _params.flitBytes;
-    double ser_secs = static_cast<double>(bytes) / _params.channelBps;
-    sim::Tick ser = sim::seconds(ser_secs);
+    // Store-and-forward frames occupy the full fixed frame size
+    // (padding included); cut-through frames occupy only their used
+    // flits — nop padding never travels. A dead wire still
+    // serialises: the transmitter has no carrier detect, so it keeps
+    // pacing against _nextFree as usual.
+    std::uint32_t flits =
+        _params.cutThrough ? frame->usedFlits : _params.frameFlits;
+    std::uint32_t bytes = flits * _params.flitBytes;
+    sim::Tick ser = _params.flitTime(flits);
     sim::Tick start = std::max(now(), _nextFree);
     _nextFree = start + ser;
     _busy += ser;
@@ -136,8 +145,12 @@ Wire::sendFrame(FramePtr frame)
     if (drop)
         return;
 
+    // Store-and-forward hands the frame over once the last flit has
+    // arrived; cut-through hands it over when the header flit lands
+    // and the Rx streams the payload out at line rate from there.
+    sim::Tick arrive = _params.cutThrough ? _params.flitTime(1) : ser;
     sim::Tick deliver =
-        start + ser + _params.serdesLatency + _params.wireLatency;
+        start + arrive + _params.serdesLatency + _params.wireLatency;
     after(deliver - now(),
           [this, epoch = _epoch, frame = std::move(frame)]() mutable {
               if (epoch != _epoch) {
@@ -236,17 +249,24 @@ LlcTx::assembleFrame()
 {
     FramePtr frame = _framePool.acquire();
     frame->seq = _nextSeq++;
-    std::uint32_t flits = 0;
+    // Cut-through frames lead with one shared header flit and
+    // coalesce the per-transaction headers into its slot table;
+    // store-and-forward keeps per-transaction headers and pads the
+    // frame to its fixed size with nops.
+    std::uint32_t flits = _params.cutThrough ? 1 : 0;
     while (!_queue.empty()) {
-        std::uint32_t need = mem::flitCount(*_queue.front());
+        std::uint32_t need = _params.cutThrough
+                                 ? coalescedFlitCount(*_queue.front())
+                                 : mem::flitCount(*_queue.front());
         if (flits + need > _params.frameFlits)
             break;
         flits += need;
         frame->txns.push_back(std::move(_queue.front()));
         _queue.pop_front();
     }
+    TF_ASSERT(!frame->txns.empty(), "assembled an empty frame");
     frame->usedFlits = flits;
-    frame->padFlits = _params.frameFlits - flits;
+    frame->padFlits = _params.cutThrough ? 0 : _params.frameFlits - flits;
     _padFlits.inc(frame->padFlits);
     _txnsSent.inc(frame->txns.size());
     return frame;
@@ -648,27 +668,88 @@ LlcRx::onFrame(FramePtr frame)
     }
 
     if (frame->seq > _expected) {
-        // Gap: a frame was lost ahead of this one. Go-back-N discard.
+        // Gap: a frame was lost ahead of this one.
         _gaps.inc();
-        returnCredit(false);
+        if (_params.cutThrough && _early.count(frame->seq) == 0 &&
+            _early.size() < _params.rxQueueFrames) {
+            // Cut-through early release: this frame arrived intact,
+            // so its transactions complete now instead of convoying
+            // behind the unrelated lost frame. The early set makes
+            // the go-back-N re-delivery a suppressed duplicate
+            // (exactly-once); it cannot outgrow the credit window.
+            _early.insert(frame->seq);
+            _earlyReleases.inc();
+            deliver(std::move(frame), false);
+        } else if (_params.cutThrough && _early.count(frame->seq) != 0) {
+            // Replay overshoot of a frame already released early.
+            _dups.inc();
+            returnCredit(false);
+        } else {
+            // Store-and-forward (or window exceeded): go-back-N
+            // discard.
+            returnCredit(false);
+        }
         requestReplay();
         return;
     }
 
-    // In-order frame: deliver its transactions, then return the credit
-    // once the ingress slot drains.
+    // In-order frame.
     ++_expected;
     _replayPendingFor = false;
+    if (!_early.empty() && _early.erase(frame->seq) != 0) {
+        // Replay of a frame already released early: the in-order
+        // point advances, but delivering again would break
+        // exactly-once.
+        _dups.inc();
+        returnCredit(true);
+        return;
+    }
+    deliver(std::move(frame), true);
+}
+
+void
+LlcRx::deliver(FramePtr frame, bool withAck)
+{
     _delivered.inc();
     _txnsDelivered.inc(frame->txns.size());
-    for (auto &txn : frame->txns) {
-        eventQueue().trace().end(now(), txn->traceId,
-                                 mem::isRequest(txn->type)
-                                     ? sim::trace::Stage::LlcReq
-                                     : sim::trace::Stage::LlcResp);
-        _sink(std::move(txn));
+
+    if (!_params.cutThrough) {
+        // Store-and-forward: the whole frame has arrived; hand every
+        // transaction over now and return the credit once the
+        // ingress slot drains.
+        for (auto &txn : frame->txns) {
+            eventQueue().trace().end(now(), txn->traceId,
+                                     mem::isRequest(txn->type)
+                                         ? sim::trace::Stage::LlcReq
+                                         : sim::trace::Stage::LlcResp);
+            _sink(std::move(txn));
+        }
+        after(_params.rxDrainLatency,
+              [this, withAck]() { returnCredit(withAck); });
+        return;
     }
-    after(_params.rxDrainLatency, [this]() { returnCredit(true); });
+
+    // Cut-through: only the header flit has landed so far; each
+    // transaction streams out as its own last flit arrives, and the
+    // frame's credit returns after the final flit plus the drain
+    // latency. Offsets are measured from the header flit's arrival.
+    sim::Tick headerArrived = _params.flitTime(1);
+    std::uint32_t cum = 1;
+    sim::Tick last = 0;
+    for (auto &txn : frame->txns) {
+        cum += coalescedFlitCount(*txn);
+        sim::Tick at = _params.flitTime(cum) - headerArrived;
+        last = at;
+        after(at, [this, txn = std::move(txn)]() mutable {
+            eventQueue().trace().end(now(), txn->traceId,
+                                     mem::isRequest(txn->type)
+                                         ? sim::trace::Stage::LlcReq
+                                         : sim::trace::Stage::LlcResp);
+            _sink(std::move(txn));
+        });
+    }
+    after(last + _params.rxDrainLatency,
+          [this, withAck]() { returnCredit(withAck); });
 }
 
 void
@@ -676,6 +757,9 @@ LlcRx::resetLink()
 {
     _expected = 0;
     _replayPendingFor = false;
+    // Early-release state is per sequence space; a retrained link
+    // must not suppress fresh seq 0..N as stale duplicates.
+    _early.clear();
 }
 
 void
@@ -687,6 +771,7 @@ LlcRx::reportStats(sim::StatSet &out) const
     out.record("duplicates", static_cast<double>(_dups.value()));
     out.record("gaps", static_cast<double>(_gaps.value()));
     out.record("corrupted", static_cast<double>(_corrupted.value()));
+    out.record("earlyReleases", static_cast<double>(_earlyReleases.value()));
 }
 
 void
@@ -698,6 +783,8 @@ LlcRx::attachStats(sim::StatSet &set)
     set.attach("gaps", _gaps, "events",
                "sequence gaps triggering replay requests");
     set.attach("corrupted", _corrupted, "frames");
+    set.attach("earlyReleases", _earlyReleases, "frames",
+               "cut-through frames released ahead of a gap");
 }
 
 // ---------------------------------------------------------- LlcChannel
@@ -729,6 +816,13 @@ LlcChannel::recover()
 {
     _wireAB.recover();
     _wireBA.recover();
+    // Every direction restarts its escalation ladder from zero:
+    // timeout rounds accumulated against the dead wire must not
+    // leave a flap survivor one benign timeout away from false
+    // link-down. (resetLink below also does this for retrained
+    // directions; flap-only directions get it here.)
+    _txA.clearEscalation();
+    _txB.clearEscalation();
     // Retrain only the directions that escalated to link-down: their
     // sequence spaces diverged (salvaged frames will never be replayed).
     // Directions that merely flapped keep continuity, so the replay

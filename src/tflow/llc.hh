@@ -8,12 +8,19 @@
  *    Each credit is one empty frame slot; credits are piggybacked on
  *    transaction headers flowing in the reverse direction (modelled as
  *    latency-only control messages).
- *  - Reliability: transactions are grouped into fixed-size frames;
- *    incomplete frames are padded with single-flit nop headers for
- *    immediate transmission. Frames carry in-order sequence numbers;
- *    on a gap or CRC error the Rx side requests an in-order replay
- *    (go-back-N) via special single-flit in-band messages. The Tx side
- *    holds sent frames in a replay buffer until cumulatively acked.
+ *  - Reliability: transactions are grouped into frames. Frames carry
+ *    in-order sequence numbers; on a gap or CRC error the Rx side
+ *    requests an in-order replay (go-back-N) via special single-flit
+ *    in-band messages. The Tx side holds sent frames in a replay
+ *    buffer until cumulatively acked.
+ *  - Framing modes (FlowParams::cutThrough): store-and-forward frames
+ *    are fixed-size, padded with single-flit nop headers, delivered
+ *    whole at last-flit arrival and released strictly in order.
+ *    Cut-through frames carry only occupied flits behind one shared
+ *    header flit, hand over at header arrival with per-transaction
+ *    release staggered at flit-arrival times, and may release an
+ *    intact frame ahead of a lost older one (exactly once — replay
+ *    re-deliveries of early-released frames are suppressed).
  *
  * Simplifications vs real hardware, kept honest by tests:
  *  - Control messages are never lost (they piggyback on a healthy
@@ -37,6 +44,7 @@
 
 #include <deque>
 #include <functional>
+#include <set>
 #include <vector>
 
 #include "sim/fault/fault.hh"
@@ -65,7 +73,12 @@ class Wire : public sim::SimObject
 
     void connect(FrameFn onFrame, CtrlFn onCtrl);
 
-    /** Transmit a frame (full frame size on the wire, padding included). */
+    /**
+     * Transmit a frame. Store-and-forward frames occupy the full
+     * fixed frame size (padding included) and arrive whole;
+     * cut-through frames occupy only their used flits and arrive at
+     * header time (the Rx staggers payload hand-off itself).
+     */
     void sendFrame(FramePtr frame);
 
     /** Transmit piggybacked control info (latency only). */
@@ -82,10 +95,19 @@ class Wire : public sim::SimObject
      */
     void fail();
 
-    /** Bring a failed wire back; does not resync LLC state by itself. */
+    /**
+     * Bring a failed wire back; does not resync LLC state by itself.
+     * Retrain leaves no error-model residue: the Gilbert-Elliott
+     * chain restarts in its good state and any transient burst
+     * window is cancelled, so a repaired wire never resumes
+     * mid-burst (the outage outlives the disturbance it modelled).
+     */
     void recover();
 
     bool failed() const { return _failed; }
+
+    /** Gilbert-Elliott chain currently in the bad state? */
+    bool chainBad() const { return _geBad; }
 
     /**
      * Open a transient Gilbert-Elliott burst-loss window: until
@@ -213,6 +235,17 @@ class LlcTx : public sim::SimObject
      */
     void resetLink();
 
+    /**
+     * Channel repair notification for directions that merely flapped
+     * (no link-down, so no resetLink): zero the consecutive-ack-
+     * timeout round counter. Rounds accumulated against the dead
+     * wire must not survive the repair, or a healed channel sits one
+     * benign timeout away from false link-down escalation.
+     */
+    void clearEscalation() { _consecTimeouts = 0; }
+
+    std::uint32_t consecTimeouts() const { return _consecTimeouts; }
+
     std::uint32_t credits() const { return _credits; }
     std::size_t queueDepth() const { return _queue.size(); }
     std::size_t replayBufDepth() const { return _replayBuf.size(); }
@@ -320,6 +353,7 @@ class LlcRx : public sim::SimObject
     std::uint64_t duplicates() const { return _dups.value(); }
     std::uint64_t gapsDetected() const { return _gaps.value(); }
     std::uint64_t corruptedSeen() const { return _corrupted.value(); }
+    std::uint64_t earlyReleases() const { return _earlyReleases.value(); }
 
     void reportStats(sim::StatSet &out) const;
 
@@ -333,14 +367,24 @@ class LlcRx : public sim::SimObject
     FrameSeq _expected = 0;
     bool _replayPendingFor = false; ///< replay already requested for
                                     ///< the current _expected value
+    /**
+     * Cut-through early releases: sequence numbers delivered ahead
+     * of the in-order point because an older frame was lost. The
+     * go-back-N replay will retransmit these; membership here makes
+     * the re-delivery a suppressed duplicate (exactly-once). Bounded
+     * by the credit window (rxQueueFrames).
+     */
+    std::set<FrameSeq> _early;
     sim::Counter _delivered;
     sim::Counter _txnsDelivered;
     sim::Counter _dups;
     sim::Counter _gaps;
     sim::Counter _corrupted;
+    sim::Counter _earlyReleases;
 
     void requestReplay();
     void returnCredit(bool withAck);
+    void deliver(FramePtr frame, bool withAck);
 };
 
 /**

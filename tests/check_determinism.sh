@@ -33,6 +33,16 @@ for jobs in 1 2 4; do
         --out "$workdir/j$jobs" > /dev/null
 done
 
+# Both framing modes must hold the guarantee: cut-through adds the
+# early-release set and per-transaction staggered delivery, which is
+# exactly the kind of machinery that could leak scheduling order.
+for jobs in 1 2 4; do
+    mkdir -p "$workdir/sfj$jobs"
+    "$bench" --smoke --no-wall --seed 42 --jobs "$jobs" \
+        --cut-through off --scenario proto_datapath \
+        --out "$workdir/sfj$jobs" > /dev/null
+done
+
 status=0
 for s in $scenarios; do
     for jobs in 2 4; do
@@ -46,8 +56,26 @@ for s in $scenarios; do
         fi
     done
 done
+for jobs in 2 4; do
+    if ! cmp -s "$workdir/sfj1/BENCH_proto_datapath.json" \
+                "$workdir/sfj$jobs/BENCH_proto_datapath.json"; then
+        echo "FAIL: proto_datapath (--cut-through off) differs" \
+             "between --jobs 1 and --jobs $jobs" >&2
+        diff "$workdir/sfj1/BENCH_proto_datapath.json" \
+             "$workdir/sfj$jobs/BENCH_proto_datapath.json" \
+            | head -20 >&2
+        status=1
+    fi
+done
+if cmp -s "$workdir/j1/BENCH_proto_datapath.json" \
+          "$workdir/sfj1/BENCH_proto_datapath.json"; then
+    echo "FAIL: --cut-through off produced the same proto_datapath" \
+         "document as the default (flag not reaching the rig?)" >&2
+    status=1
+fi
 
 if [ "$status" -eq 0 ]; then
-    echo "determinism OK: $scenarios byte-identical at --jobs 1/2/4"
+    echo "determinism OK: $scenarios byte-identical at --jobs 1/2/4" \
+         "(cut-through on and off)"
 fi
 exit $status

@@ -14,6 +14,7 @@
 #include "ctrl/control_plane.hh"
 #include "mem/dram.hh"
 #include "sim/fault/fault.hh"
+#include "tflow/llc.hh"
 
 using namespace tf;
 using namespace tf::ctrl;
@@ -190,6 +191,109 @@ TEST_F(BondedFailoverFixture, BurstLossWindowHealedByReplay)
     EXPECT_FALSE(dp->channelDown(1));
     EXPECT_EQ(dp->routing().unroutableDropped(), 0u);
     EXPECT_EQ(dp->compute().outstanding(), 0u);
+}
+
+TEST_F(BondedFailoverFixture, RecoveredChannelDoesNotResumeMidBurst)
+{
+    constexpr int kWindow = 256;
+
+    // A total-loss burst window far outliving the escalation
+    // threshold: every frame on channel 0's forward wire corrupts, so
+    // replay makes no ack progress and the Tx declares link-down.
+    sim::fault::GilbertElliott ge;
+    ge.pGoodBad = 1.0;
+    ge.pBadGood = 0.0;
+    ge.errBad = 1.0;
+    auto &wire = dp->channel(0).wireAB();
+    wire.startBurst(ge, sim::seconds(1));
+
+    runPhase(1000, kWindow);
+    ASSERT_TRUE(dp->channelDown(0));
+    EXPECT_EQ(dp->linkDownEvents(), 1u);
+    EXPECT_TRUE(wire.burstActive()) << "outage outlived by the window";
+
+    // Repair must cancel the burst residue: a recovered channel that
+    // resumed mid-burst would corrupt every frame again and flap
+    // straight back down.
+    dp->recoverChannel(0);
+    EXPECT_FALSE(wire.burstActive());
+    EXPECT_FALSE(wire.chainBad());
+
+    runPhase(2000, kWindow);
+    EXPECT_FALSE(dp->channelDown(0));
+    EXPECT_EQ(dp->linkDownEvents(), 1u) << "healed channel re-flapped";
+    EXPECT_EQ(dp->compute().outstanding(), 0u);
+}
+
+// ------------------------- channel-repair escalation-residue audit
+
+TEST(LlcRecoverRegression, FlapLeavesNoEscalationResidue)
+{
+    // A flap accrues consecutive ack-timeout rounds one short of
+    // escalation; after repair, the very next (benign) timeout must
+    // replay and heal -- not inherit the dead wire's rounds and
+    // declare a healthy link down.
+    sim::EventQueue eq;
+    sim::Rng rng{3};
+    flow::FlowParams p;
+    p.ackTimeout = sim::microseconds(2);
+    p.maxReplayRounds = 4;
+    flow::LlcChannel ch("ch", eq, p, rng);
+    int delivered = 0;
+    ch.rxB().connectSink([&](TxnPtr) { ++delivered; });
+    ch.rxA().connectSink([](TxnPtr) {});
+
+    ch.fail();
+    ch.txA().enqueue(mem::makeTxn(TxnType::WriteReq, 0));
+    // Three timeout rounds fire at 2/4/6 us against the dead wire.
+    eq.run(sim::microseconds(7));
+    EXPECT_EQ(ch.txA().consecTimeouts(), 3u);
+    ASSERT_FALSE(ch.txA().linkDown());
+
+    ch.recover(); // flap repair: no link-down, so no retrain
+    EXPECT_EQ(ch.txA().consecTimeouts(), 0u);
+
+    // The next timeout replays over the healed wire and delivers.
+    eq.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_FALSE(ch.txA().linkDown());
+    EXPECT_EQ(ch.txA().linkDownsDeclared(), 0u);
+    EXPECT_EQ(ch.txA().consecTimeouts(), 0u);
+}
+
+TEST(LlcRecoverRegression, RecoverClearsGilbertElliottChainState)
+{
+    // The steady-state GE chain must restart in its good state after
+    // retrain: pGoodBad = 1 parks the chain bad on the first frame
+    // (error-free, so traffic still flows and the state is pure
+    // residue), and a recover() must clear it.
+    sim::EventQueue eq;
+    sim::Rng rng{4};
+    flow::FlowParams p;
+    p.geEnabled = true;
+    p.geGoodBad = 1.0;
+    p.geBadGood = 0.0;
+    p.geErrGood = 0.0;
+    p.geErrBad = 0.0;
+    flow::LlcChannel ch("ch", eq, p, rng);
+    int delivered = 0;
+    ch.rxB().connectSink([&](TxnPtr) { ++delivered; });
+    ch.rxA().connectSink([](TxnPtr) {});
+
+    ch.txA().enqueue(mem::makeTxn(TxnType::WriteReq, 0));
+    eq.run();
+    ASSERT_EQ(delivered, 1);
+    EXPECT_TRUE(ch.wireAB().chainBad());
+
+    ch.fail();
+    ch.recover();
+    EXPECT_FALSE(ch.wireAB().chainBad());
+    EXPECT_FALSE(ch.wireAB().burstActive());
+
+    ch.txA().enqueue(mem::makeTxn(TxnType::WriteReq, 128));
+    eq.run();
+    EXPECT_EQ(delivered, 2);
+    EXPECT_EQ(ch.wireAB().framesCorrupted(), 0u);
 }
 
 // ------------------------------------- control-plane orchestration

@@ -127,8 +127,11 @@ TEST_F(DramFixture, SingleAccessLatency)
 
 TEST_F(DramFixture, BandwidthSerialisesBackToBack)
 {
-    // 100 simultaneous reads: completions spaced by the 1 ns
-    // serialization delay of a 128B line at 128 GB/s.
+    // Channel-cursor model (banks = 1): 100 simultaneous reads,
+    // completions spaced by the 1 ns serialization delay of a 128B
+    // line at 128 GB/s.
+    params.banks = 1;
+    dram = std::make_unique<Dram>("dram", eq, params, &store);
     std::vector<sim::Tick> completions;
     for (int i = 0; i < 100; ++i) {
         auto txn = makeTxn(TxnType::ReadReq,
@@ -143,6 +146,103 @@ TEST_F(DramFixture, BandwidthSerialisesBackToBack)
     for (std::size_t i = 1; i < completions.size(); ++i)
         EXPECT_EQ(completions[i] - completions[i - 1],
                   sim::nanoseconds(1));
+}
+
+TEST_F(DramFixture, BankedSameStripeNeighborWaitsRowCycle)
+{
+    // Addresses 0 and 128 share one 256B stripe: same bank, same
+    // row. The first access activates the row (bank busy for the
+    // 45 ns row cycle); the neighbor is a row hit but can only
+    // dispatch once the bank frees: 45 + 1 ns transfer + 90 ns.
+    std::vector<sim::Tick> completions;
+    for (Addr a : {Addr{0}, Addr{128}}) {
+        dram->access(makeTxn(TxnType::ReadReq, a),
+                     [&](TxnPtr) { completions.push_back(eq.now()); });
+    }
+    eq.run();
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_EQ(completions[0], sim::nanoseconds(91));
+    EXPECT_EQ(completions[1], sim::nanoseconds(136));
+    EXPECT_EQ(dram->rowMisses(), 1u);
+    EXPECT_EQ(dram->rowHits(), 1u);
+}
+
+TEST_F(DramFixture, BankedIndependentBanksPipelineAtChannelRate)
+{
+    // One access per bank: every row activation proceeds in parallel,
+    // so completions are spaced by the channel serialization alone —
+    // identical to the legacy single-cursor model.
+    std::vector<sim::Tick> completions;
+    for (int i = 0; i < 4; ++i) {
+        dram->access(makeTxn(TxnType::ReadReq,
+                             static_cast<Addr>(i) * 256),
+                     [&](TxnPtr) { completions.push_back(eq.now()); });
+    }
+    eq.run();
+    ASSERT_EQ(completions.size(), 4u);
+    for (std::size_t i = 0; i < completions.size(); ++i)
+        EXPECT_EQ(completions[i],
+                  sim::nanoseconds(91 + static_cast<std::uint64_t>(i)));
+    EXPECT_EQ(dram->rowMisses(), 4u);
+    EXPECT_EQ(dram->reorders(), 0u);
+}
+
+TEST_F(DramFixture, FrFcfsDispatchesAroundBusyBank)
+{
+    // A1 occupies bank 0 with a row activation; A2 also wants bank 0
+    // (a different row, 4 KiB * 16 banks away is irrelevant — 4096 is
+    // stripe 16, bank 0, row 1) while A3 wants idle bank 1. FR-FCFS
+    // sends A3 ahead of the older A2 instead of convoying the channel
+    // behind the busy bank.
+    std::vector<int> order;
+    auto issue = [&](int id, Addr a) {
+        dram->access(makeTxn(TxnType::ReadReq, a),
+                     [&order, id](TxnPtr) { order.push_back(id); });
+    };
+    issue(1, 0);
+    issue(2, 4096);
+    issue(3, 256);
+    eq.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+    EXPECT_EQ(dram->reorders(), 1u);
+}
+
+TEST_F(DramFixture, StallFreezesAllBankCursorsAndEstimate)
+{
+    // A service stall must freeze every bank cursor, not just the
+    // channel cursor: accesses to *different* banks both wait out
+    // the stall, and estimatedLatency reflects it immediately
+    // (fault_soak's bounded-recovery estimate depends on this).
+    const sim::Tick stall = sim::microseconds(10);
+    dram->stall(stall);
+    EXPECT_GE(dram->estimatedLatency(cachelineBytes),
+              stall + sim::nanoseconds(90));
+
+    std::vector<sim::Tick> completions;
+    for (Addr a : {Addr{0}, Addr{256}}) { // banks 0 and 1
+        dram->access(makeTxn(TxnType::ReadReq, a),
+                     [&](TxnPtr) { completions.push_back(eq.now()); });
+    }
+    eq.run();
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_EQ(completions[0], stall + sim::nanoseconds(91));
+    EXPECT_EQ(completions[1], stall + sim::nanoseconds(92));
+}
+
+TEST_F(DramFixture, BankedEstimateReflectsQueuedBacklog)
+{
+    // Queue a burst, then ask for the estimate: it must grow with the
+    // undispatched backlog instead of reporting an idle channel.
+    sim::Tick idle = dram->estimatedLatency(cachelineBytes);
+    for (int i = 0; i < 64; ++i) {
+        dram->access(makeTxn(TxnType::ReadReq,
+                             static_cast<Addr>(i) * cachelineBytes),
+                     [](TxnPtr) {});
+    }
+    EXPECT_GT(dram->estimatedLatency(cachelineBytes), idle);
+    eq.run();
+    EXPECT_EQ(dram->estimatedLatency(cachelineBytes), idle);
 }
 
 TEST_F(DramFixture, FunctionalWriteThenRead)

@@ -254,6 +254,72 @@ TEST_F(TraceFixture, StageDurationsTileTheRoundTrip)
     EXPECT_NEAR(attr.totalNs.mean(), rtt, rtt * 1e-9);
 }
 
+TEST(TraceTilingT, StageDurationsTileUnderBothFramingModes)
+{
+    // The tiling invariant must survive cut-through: staggered
+    // per-transaction release and coalesced shared-header frames move
+    // where time is spent (llcResp shrinks, c1 overlap grows) but
+    // every nanosecond of the round trip still belongs to exactly one
+    // stage span. Run loaded so frames actually coalesce.
+    for (bool ct : {false, true}) {
+        SCOPED_TRACE(ct ? "cut-through" : "store-and-forward");
+        sim::EventQueue eq;
+        eq.trace().setFull(true);
+        sim::Rng rng{2024};
+        mem::BackingStore donorStore;
+        mem::Dram donorDram(
+            "donorDram", eq, mem::DramParams{}, &donorStore);
+        ocapi::PasidRegistry pasids;
+        FlowParams params;
+        params.cutThrough = ct;
+        Datapath dp("dp", eq, params,
+                    ocapi::M1Window{kWindowBase, kWindowSize}, pasids,
+                    donorDram, rng, kSectionBytes);
+        ocapi::Pasid pasid = pasids.allocate();
+        ASSERT_TRUE(
+            pasids.registerRegion(pasid, kDonorBase, kWindowSize));
+        dp.stealing().setPasid(pasid);
+        dp.attach(0, kDonorBase, 1, {0});
+
+        const int total = 64;
+        int issued = 0;
+        int completed = 0;
+        std::function<void()> one = [&]() {
+            if (issued >= total)
+                return;
+            auto txn = mem::makeTxn(
+                TxnType::ReadReq,
+                kWindowBase + (static_cast<Addr>(issued) * 128) %
+                                  kSectionBytes);
+            ++issued;
+            txn->onComplete = [&](mem::MemTxn &) {
+                ++completed;
+                one();
+            };
+            dp.issue(txn);
+        };
+        for (int i = 0; i < 16; ++i)
+            one();
+        eq.run();
+        ASSERT_EQ(completed, total);
+
+        trace::TraceCollector collector;
+        collector.addBuffer(eq.trace(), "dp");
+        trace::Attribution attr = collector.attribution();
+
+        ASSERT_EQ(attr.totalNs.count(),
+                  static_cast<std::size_t>(total));
+        double stageSum = 0;
+        for (const auto &q : attr.stageNs)
+            if (q.count() > 0)
+                stageSum += q.mean() * static_cast<double>(q.count()) /
+                            static_cast<double>(total);
+        double rtt = dp.compute().rttNs().mean();
+        EXPECT_NEAR(stageSum, rtt, rtt * 1e-9);
+        EXPECT_NEAR(attr.totalNs.mean(), rtt, rtt * 1e-9);
+    }
+}
+
 TEST_F(TraceFixture, ResponsesReuseTheRequestTraceId)
 {
     build();
