@@ -10,6 +10,8 @@
 
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "topo/builder.hh"
+#include "topo_scenario.hh"
 
 #ifndef TF_GIT_SHA
 #define TF_GIT_SHA "unknown"
@@ -247,6 +249,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--list] [--smoke] [--scenario NAME]...\n"
+                 "          [--topo FILE]... [--validate]\n"
                  "          [--seed N] [--out DIR] [--jobs N]\n"
                  "          [--no-wall] [--trace FILE]\n"
                  "          [--cut-through on|off]\n"
@@ -254,6 +257,14 @@ usage(const char *argv0)
                  "  --smoke          CI-sized runs, smoke subset only\n"
                  "  --scenario NAME  run NAME (repeatable); default:\n"
                  "                   every scenario (or smoke subset)\n"
+                 "  --topo FILE      run a declarative topology file\n"
+                 "                   (repeatable); the file's \"name\"\n"
+                 "                   names the BENCH JSON. With no\n"
+                 "                   --scenario flags, only the topo\n"
+                 "                   files run\n"
+                 "  --validate       parse and build every --topo file,\n"
+                 "                   run nothing; exit 2 on the first\n"
+                 "                   config error\n"
                  "  --seed N         simulation seed (default 42)\n"
                  "  --out DIR        directory for BENCH_<name>.json\n"
                  "  --jobs N         worker threads (default 1); the\n"
@@ -282,17 +293,96 @@ struct Options
     bool list = false;
     bool smoke = false;
     bool noWall = false;
+    bool validate = false;
     unsigned jobs = 1;
     std::uint64_t seed = 42;
     std::string outDir = ".";
     std::string traceFile;
     std::optional<bool> cutThrough;
     std::vector<std::string> names;
+    std::vector<std::string> topoFiles;
 };
+
+/**
+ * Shared emit tail for named scenarios and topology files: trace
+ * attribution + optional trace file + BENCH JSON + summary.
+ * @p soleOutput names the trace file verbatim instead of suffixing
+ * the scenario name.
+ */
+int
+emitResult(ScenarioContext &ctx, const Options &opt, double wallMs,
+           bool soleOutput)
+{
+    // Scenarios with always-on span points (proto_datapath's RTT
+    // and single-flow quantile rigs) carry an attribution table on
+    // every run, so the trace.attr.*.p99Ns gates work in plain
+    // smoke CI; for everything else the collector is empty and
+    // this is a no-op unless --trace widened the collection.
+    ctx.appendTraceMetrics();
+    if (!opt.traceFile.empty()) {
+        std::string tracePath =
+            soleOutput ? opt.traceFile
+                       : opt.traceFile + "." + ctx.scenario();
+        if (!ctx.writeTrace(tracePath)) {
+            std::fprintf(stderr, "tf_bench: cannot write %s\n",
+                         tracePath.c_str());
+            return 1;
+        }
+        std::printf("  -> %s (%zu trace node(s))\n",
+                    tracePath.c_str(),
+                    ctx.collector().nodeCount());
+    }
+
+    std::string path =
+        opt.outDir + "/BENCH_" + ctx.scenario() + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "tf_bench: cannot write %s\n",
+                     path.c_str());
+        return 1;
+    }
+    out << ctx.toJson(opt.noWall ? -1 : wallMs) << "\n";
+    ctx.printSummary(stdout);
+    std::printf("  -> %s (%.0f ms)\n", path.c_str(), wallMs);
+    return 0;
+}
+
+ScenarioContext
+makeContext(const std::string &name, const Options &opt)
+{
+    ScenarioContext ctx(name, opt.seed, opt.smoke);
+    ctx.setJobs(opt.jobs);
+    ctx.setOutDir(opt.outDir);
+    ctx.setTraceEnabled(!opt.traceFile.empty());
+    ctx.setCutThroughOverride(opt.cutThrough);
+    return ctx;
+}
 
 int
 runScenarios(const Options &opt)
 {
+    if (opt.validate) {
+        // Parse + build (no run) every topology file; first config
+        // error wins. Exercises the full builder path, so compose
+        // failures surface here too, not in CI's smoke run.
+        for (const auto &file : opt.topoFiles) {
+            try {
+                topo::Spec spec = topo::loadSpecFile(file);
+                topo::BuildOptions bo;
+                bo.seed = opt.seed;
+                bo.smoke = true;
+                topo::Instance inst(spec, bo);
+                std::printf("tf_bench: %s OK (\"%s\": %zu LPs)\n",
+                            file.c_str(), spec.name.c_str(),
+                            inst.lpCount());
+            } catch (const topo::SpecError &e) {
+                std::fprintf(stderr, "tf_bench: %s\n", e.what());
+                return 2;
+            }
+        }
+        return 0;
+    }
+
     std::vector<const Scenario *> selected;
     if (!opt.names.empty()) {
         for (const auto &n : opt.names) {
@@ -306,57 +396,41 @@ runScenarios(const Options &opt)
             }
             selected.push_back(s);
         }
-    } else {
+    } else if (opt.topoFiles.empty()) {
         for (const auto &s : scenarios())
             if (!opt.smoke || s.inSmokeSet)
                 selected.push_back(&s);
     }
 
+    bool soleOutput = selected.size() + opt.topoFiles.size() == 1;
     for (const Scenario *s : selected) {
-        ScenarioContext ctx(s->name, opt.seed, opt.smoke);
-        ctx.setJobs(opt.jobs);
-        ctx.setOutDir(opt.outDir);
-        ctx.setTraceEnabled(!opt.traceFile.empty());
-        ctx.setCutThroughOverride(opt.cutThrough);
+        ScenarioContext ctx = makeContext(s->name, opt);
         auto start = std::chrono::steady_clock::now();
         s->run(ctx);
         double wallMs =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+        if (int rc = emitResult(ctx, opt, wallMs, soleOutput))
+            return rc;
+    }
 
-        // Scenarios with always-on span points (proto_datapath's RTT
-        // and single-flow quantile rigs) carry an attribution table on
-        // every run, so the trace.attr.*.p99Ns gates work in plain
-        // smoke CI; for everything else the collector is empty and
-        // this is a no-op unless --trace widened the collection.
-        ctx.appendTraceMetrics();
-        if (!opt.traceFile.empty()) {
-            std::string tracePath =
-                selected.size() == 1
-                    ? opt.traceFile
-                    : opt.traceFile + "." + s->name;
-            if (!ctx.writeTrace(tracePath)) {
-                std::fprintf(stderr, "tf_bench: cannot write %s\n",
-                             tracePath.c_str());
-                return 1;
-            }
-            std::printf("  -> %s (%zu trace node(s))\n",
-                        tracePath.c_str(),
-                        ctx.collector().nodeCount());
+    for (const auto &file : opt.topoFiles) {
+        try {
+            topo::Spec spec = topo::loadSpecFile(file);
+            ScenarioContext ctx = makeContext(spec.name, opt);
+            auto start = std::chrono::steady_clock::now();
+            runTopoScenario(ctx, spec);
+            double wallMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (int rc = emitResult(ctx, opt, wallMs, soleOutput))
+                return rc;
+        } catch (const topo::SpecError &e) {
+            std::fprintf(stderr, "tf_bench: %s\n", e.what());
+            return 2;
         }
-
-        std::string path =
-            opt.outDir + "/BENCH_" + s->name + ".json";
-        std::ofstream out(path);
-        if (!out) {
-            std::fprintf(stderr, "tf_bench: cannot write %s\n",
-                         path.c_str());
-            return 1;
-        }
-        out << ctx.toJson(opt.noWall ? -1 : wallMs) << "\n";
-        ctx.printSummary(stdout);
-        std::printf("  -> %s (%.0f ms)\n", path.c_str(), wallMs);
     }
     return 0;
 }
@@ -390,6 +464,10 @@ parseAndRun(int argc, char **argv,
                 std::strtoul(argv[++i], nullptr, 0));
             if (opt.jobs == 0)
                 opt.jobs = 1;
+        } else if (arg == "--topo" && i + 1 < argc) {
+            opt.topoFiles.push_back(argv[++i]);
+        } else if (arg == "--validate") {
+            opt.validate = true;
         } else if (arg == "--no-wall") {
             opt.noWall = true;
         } else if (arg == "--trace" && i + 1 < argc) {

@@ -1,0 +1,60 @@
+#include "topo_scenario.hh"
+
+#include "topo/builder.hh"
+
+namespace tf::bench {
+
+void
+runTopoScenario(ScenarioContext &ctx, const topo::Spec &spec)
+{
+    topo::BuildOptions opt;
+    opt.seed = ctx.seed();
+    opt.jobs = ctx.jobs();
+    opt.smoke = ctx.smoke();
+    opt.cutThrough = ctx.cutThroughOverride();
+    topo::Instance inst(spec, opt);
+
+    if (ctx.traceEnabled()) {
+        for (std::size_t i = 0; i < inst.lpCount(); ++i) {
+            auto &tb = inst.lp(i).queue().trace();
+            tb.setFull(true);
+            tb.setIdTag(static_cast<std::uint32_t>(i + 1));
+            tb.setName(inst.lp(i).name());
+        }
+    }
+
+    inst.run();
+
+    std::uint64_t totalOps = 0;
+    for (std::size_t i = 0; i < inst.trafficCount(); ++i) {
+        const auto &t = inst.traffic(i);
+        totalOps += t.completed;
+        ctx.metric(t.name + ".ops",
+                   static_cast<double>(t.completed), "ops");
+        if (t.latUs.count() > 0)
+            ctx.latencyUs(t.name + ".lat", t.latUs);
+    }
+    sim::Tick span = inst.lastCompletion();
+    if (span > 0 && totalOps > 0)
+        ctx.metric("opsPerSimSec",
+                   static_cast<double>(totalOps) / sim::toSec(span),
+                   "ops/s");
+    ctx.metric("fabric.relayedMsgs",
+               static_cast<double>(inst.fabric().relayedMessages()),
+               "msgs");
+    ctx.metric("fabric.queueMaxNs", inst.fabric().maxQueueDelayNs(),
+               "ns");
+    if (!spec.faults.empty())
+        ctx.metric("faultsFired",
+                   static_cast<double>(inst.faultsFired()), "events");
+
+    for (std::size_t i = 0; i < inst.lpCount(); ++i) {
+        ctx.addRun(inst.lp(i).queue());
+        if (ctx.traceEnabled())
+            ctx.collectTrace(inst.lp(i).queue(), inst.lp(i).name());
+    }
+    inst.registerStats(ctx.registry());
+    ctx.registry().freezeAll();
+}
+
+} // namespace tf::bench

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Bench adapter for declarative topologies (tf_bench --topo FILE).
+ *
+ * A topology file is a scenario: the spec's name names the BENCH
+ * JSON, its traffic stanzas become headline metrics, and the whole
+ * instantiated rig registers its stats tree — so config-driven runs
+ * flow through the exact same emit path (trace collection, metrics,
+ * regression gate) as the hand-written scenarios.
+ */
+
+#ifndef TF_BENCH_TOPO_SCENARIO_HH
+#define TF_BENCH_TOPO_SCENARIO_HH
+
+#include "harness.hh"
+#include "topo/spec.hh"
+
+namespace tf::bench {
+
+/** Build, run, and harvest one topology under @p ctx's options. */
+void runTopoScenario(ScenarioContext &ctx, const topo::Spec &spec);
+
+} // namespace tf::bench
+
+#endif // TF_BENCH_TOPO_SCENARIO_HH

@@ -17,6 +17,8 @@ Dram::Dram(std::string name, sim::EventQueue &eq, DramParams params,
         TF_ASSERT(_params.reorderWindow > 0, "reorder window must be >= 1");
         _bankFree.assign(_params.banks, 0);
         _openRow.assign(_params.banks, 0);
+        _bankStats = std::vector<BankStats>(_params.banks);
+        _bankQueued.assign(_params.banks, 0);
     }
 }
 
@@ -106,7 +108,11 @@ Dram::access(TxnPtr txn, DoneFn done)
     }
 
     _pendingBytes += txn->size;
+    std::uint32_t bank = bankOf(txn->addr);
     _pending.push_back(Pending{std::move(txn), std::move(done)});
+    _bankQueued[bank]++;
+    _bankStats[bank].queueDepth.add(
+        static_cast<double>(_bankQueued[bank]));
     tryDispatch();
 }
 
@@ -166,8 +172,14 @@ Dram::tryDispatch()
         // the transfer, whichever is longer); a hit only for the
         // transfer. Access latency is not bank occupancy: it
         // pipelines, like the legacy model's fixed tail.
-        _bankFree[b] =
-            start + (hit ? ser : std::max(_params.rowCycleLatency, ser));
+        sim::Tick occupancy =
+            hit ? ser : std::max(_params.rowCycleLatency, ser);
+        _bankFree[b] = start + occupancy;
+        BankStats &bs = _bankStats[b];
+        bs.dispatches.inc();
+        (hit ? bs.rowHits : bs.rowMisses).inc();
+        bs.busyNs.inc(static_cast<std::uint64_t>(sim::toNs(occupancy)));
+        _bankQueued[b]--;
         _pendingBytes -= p.txn->size;
         complete(std::move(p.txn), std::move(p.done),
                  start + ser + _params.accessLatency);
@@ -230,6 +242,17 @@ Dram::attachStats(sim::StatSet &set)
                "row activations (bank busy for the row cycle)");
     set.attach("reorders", _reorders, "txns",
                "FR-FCFS dispatches ahead of an older request");
+    for (std::uint32_t b = 0; b < _bankStats.size(); ++b) {
+        std::string p = "bank" + std::to_string(b) + ".";
+        BankStats &bs = _bankStats[b];
+        set.attach(p + "dispatches", bs.dispatches, "txns");
+        set.attach(p + "rowHits", bs.rowHits, "txns");
+        set.attach(p + "rowMisses", bs.rowMisses, "txns");
+        set.attach(p + "busyNs", bs.busyNs, "ns",
+                   "cursor occupancy charged to this bank");
+        set.attach(p + "queueDepth", bs.queueDepth, "txns",
+                   "queued requests for this bank at enqueue");
+    }
 }
 
 } // namespace tf::mem

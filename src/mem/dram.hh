@@ -110,6 +110,29 @@ class Dram : public sim::SimObject
     std::uint64_t reorders() const { return _reorders.value(); }
     std::size_t queueDepth() const { return _pending.size(); }
 
+    /**
+     * Per-bank scheduler telemetry (banks > 1 only): dispatches,
+     * row-buffer outcomes, occupancy charged to the bank cursor, and
+     * the per-bank queue depth observed at each enqueue. Exported as
+     * "bank<i>.*" by attachStats, so the bench JSON shows which
+     * banks a workload's stride actually lands on.
+     */
+    struct BankStats
+    {
+        sim::Counter dispatches;
+        sim::Counter rowHits;
+        sim::Counter rowMisses;
+        /** Busy time charged to this bank's cursor, nanoseconds. */
+        sim::Counter busyNs;
+        /** Queued requests for this bank, sampled at enqueue. */
+        sim::Summary queueDepth;
+    };
+
+    const BankStats &bankStats(std::uint32_t bank) const
+    {
+        return _bankStats.at(bank);
+    }
+
     void reportStats(sim::StatSet &out) const;
 
     /** Attach read/write/byte counters for telemetry export. */
@@ -144,6 +167,10 @@ class Dram : public sim::SimObject
     sim::Counter _rowHits;
     sim::Counter _rowMisses;
     sim::Counter _reorders;
+    /** Per-bank telemetry (banks > 1 only). */
+    std::vector<BankStats> _bankStats;
+    /** Requests currently queued per bank (enqueue minus dispatch). */
+    std::vector<std::uint32_t> _bankQueued;
 
     sim::Tick serializationDelay(std::uint64_t bytes) const;
     std::uint32_t bankOf(Addr addr) const;

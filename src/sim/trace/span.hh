@@ -51,6 +51,7 @@ enum class Stage : std::uint8_t {
     CacheHit,       ///< page-cache access served from a local frame
     CacheMiss,      ///< page-cache access waiting on a remote fill
     CacheWb,        ///< page-cache dirty write-back to the donor
+    SwitchHop,      ///< fabric hop: element egress queue + wire
     Fault,          ///< injected fault active at a fault point
 };
 
@@ -80,6 +81,7 @@ stageName(Stage s)
       case Stage::CacheHit:        return "cacheHit";
       case Stage::CacheMiss:       return "cacheMiss";
       case Stage::CacheWb:         return "cacheWb";
+      case Stage::SwitchHop:       return "switchHop";
       case Stage::Fault:           return "fault";
     }
     return "unknown";

@@ -33,6 +33,21 @@ for jobs in 1 2 4; do
         --out "$workdir/j$jobs" > /dev/null
 done
 
+# The switched multi-hop fabric is the newest cross-LP machinery:
+# every switch is its own logical process, so a config-driven topology
+# exercises LP counts and channel layouts none of the C++ scenarios
+# reach. noisy_neighbor funnels two RPC flows through a shared
+# oversubscribed egress queue — worker count must not perturb the
+# queueing order.
+configdir=$(dirname "$0")/../configs
+for jobs in 1 2 4; do
+    mkdir -p "$workdir/tj$jobs"
+    "$bench" --smoke --no-wall --seed 42 --jobs "$jobs" \
+        --topo "$configdir/noisy_neighbor.json" \
+        --topo "$configdir/ring.json" \
+        --out "$workdir/tj$jobs" > /dev/null
+done
+
 # Both framing modes must hold the guarantee: cut-through adds the
 # early-release set and per-transaction staggered delivery, which is
 # exactly the kind of machinery that could leak scheduling order.
@@ -56,6 +71,18 @@ for s in $scenarios; do
         fi
     done
 done
+for t in noisy_neighbor ring; do
+    for jobs in 2 4; do
+        if ! cmp -s "$workdir/tj1/BENCH_$t.json" \
+                    "$workdir/tj$jobs/BENCH_$t.json"; then
+            echo "FAIL: --topo $t differs between --jobs 1 and" \
+                 "--jobs $jobs" >&2
+            diff "$workdir/tj1/BENCH_$t.json" \
+                 "$workdir/tj$jobs/BENCH_$t.json" | head -20 >&2
+            status=1
+        fi
+    done
+done
 for jobs in 2 4; do
     if ! cmp -s "$workdir/sfj1/BENCH_proto_datapath.json" \
                 "$workdir/sfj$jobs/BENCH_proto_datapath.json"; then
@@ -75,7 +102,7 @@ if cmp -s "$workdir/j1/BENCH_proto_datapath.json" \
 fi
 
 if [ "$status" -eq 0 ]; then
-    echo "determinism OK: $scenarios byte-identical at --jobs 1/2/4" \
-         "(cut-through on and off)"
+    echo "determinism OK: $scenarios + topo noisy_neighbor/ring" \
+         "byte-identical at --jobs 1/2/4 (cut-through on and off)"
 fi
 exit $status

@@ -230,6 +230,33 @@ TEST_F(DramFixture, StallFreezesAllBankCursorsAndEstimate)
     EXPECT_EQ(completions[1], stall + sim::nanoseconds(92));
 }
 
+TEST_F(DramFixture, PerBankTelemetryTracksDispatchAndOccupancy)
+{
+    // Three bank-0 accesses (miss, same-row hit, other-row miss) and
+    // one to an independent bank: the per-bank counters must
+    // attribute the work to the right bank. The first access
+    // dispatches straight off the idle channel, so the two held back
+    // behind the busy bank are the two-deep backlog high-water.
+    for (Addr a : {Addr{0}, Addr{128}, Addr{65536}, Addr{256}}) {
+        dram->access(makeTxn(TxnType::ReadReq, a), [](TxnPtr) {});
+    }
+    eq.run();
+
+    const auto &b0 = dram->bankStats(0);
+    EXPECT_EQ(b0.dispatches.value(), 3u);
+    EXPECT_EQ(b0.rowMisses.value(), 2u);
+    EXPECT_EQ(b0.rowHits.value(), 1u);
+    // Misses pay the 45 ns row cycle, the hit only its 1 ns transfer.
+    EXPECT_EQ(b0.busyNs.value(), 91u);
+    EXPECT_EQ(b0.queueDepth.max(), 2.0);
+
+    const auto &b1 = dram->bankStats(1);
+    EXPECT_EQ(b1.dispatches.value(), 1u);
+    EXPECT_EQ(b1.rowMisses.value(), 1u);
+    EXPECT_EQ(b1.rowHits.value(), 0u);
+    EXPECT_EQ(b1.queueDepth.max(), 1.0);
+}
+
 TEST_F(DramFixture, BankedEstimateReflectsQueuedBacklog)
 {
     // Queue a burst, then ask for the estimate: it must grow with the
