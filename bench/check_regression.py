@@ -53,7 +53,7 @@ import sys
 LOWER_IS_BETTER_HINTS = (
     "Us", "Ns", "latency", "replay", "stall", "drop", "teardown",
     "HighWater", "Compactions", "Cancelled", "recovery", "error",
-    "timedOut",
+    "timedOut", "violations", "worstValue", "occupancy",
 )
 
 HIGHER_IS_BETTER_HINTS = (
@@ -81,7 +81,10 @@ def load_results(results_dir):
     for path in sorted(glob.glob(pattern)):
         with open(path) as f:
             doc = json.load(f)
-        if doc.get("schema") != "tf-bench-v1":
+        # v2 == v1 plus an optional `timeline` section; the metrics
+        # this gate reads are unchanged, so both schemas are accepted
+        # (old baselines keep working against new results).
+        if doc.get("schema") not in ("tf-bench-v1", "tf-bench-v2"):
             sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
         docs[doc["scenario"]] = doc
     if not docs:

@@ -95,11 +95,12 @@ ScenarioContext::appendTraceMetrics()
 }
 
 bool
-ScenarioContext::writeTrace(const std::string &path) const
+ScenarioContext::writeTrace(const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
         return false;
+    _collector.setTimeline(_timeline.empty() ? nullptr : &_timeline);
     _collector.writeJson(out);
     return static_cast<bool>(out);
 }
@@ -112,6 +113,7 @@ ScenarioContext::commit(ScenarioContext &&point)
     _simTicks += point._simTicks;
     _events += point._events;
     _registry.adopt(std::move(point._registry));
+    _timeline.adopt(point._timeline);
     _collector.adopt(std::move(point._collector));
 }
 
@@ -126,6 +128,7 @@ ScenarioContext::runPoints(
         sub->setOutDir(_outDir);
         sub->setTraceEnabled(_traceEnabled);
         sub->setCutThroughOverride(_cutThrough);
+        sub->setTimelineWindowUs(_timelineUs);
         return sub;
     };
 
@@ -177,7 +180,7 @@ ScenarioContext::toJson(double wallMs) const
     std::ostringstream os;
     sim::JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "tf-bench-v1");
+    w.field("schema", "tf-bench-v2");
     w.field("scenario", _scenario);
 
     w.name("meta");
@@ -204,6 +207,11 @@ ScenarioContext::toJson(double wallMs) const
             w.field(m.name, m.unit);
     }
     w.endObject();
+
+    if (!_timeline.empty()) {
+        w.name("timeline");
+        _timeline.writeJson(w);
+    }
 
     w.name("stats");
     _registry.writeJson(w);
@@ -252,6 +260,7 @@ usage(const char *argv0)
                  "          [--topo FILE]... [--validate]\n"
                  "          [--seed N] [--out DIR] [--jobs N]\n"
                  "          [--no-wall] [--trace FILE]\n"
+                 "          [--timeline-window US]\n"
                  "          [--cut-through on|off]\n"
                  "  --list           list scenarios and exit\n"
                  "  --smoke          CI-sized runs, smoke subset only\n"
@@ -279,6 +288,14 @@ usage(const char *argv0)
                  "                   latency attribution to the BENCH\n"
                  "                   JSON; with several scenarios the\n"
                  "                   file is FILE.<scenario>\n"
+                 "  --timeline-window US\n"
+                 "                   force the windowed timeline on\n"
+                 "                   with US-microsecond windows: a\n"
+                 "                   `timeline` section in the BENCH\n"
+                 "                   JSON and Perfetto counter tracks\n"
+                 "                   under --trace. Topology files\n"
+                 "                   default it on (spec timelineUs)\n"
+                 "                   whenever they declare monitors\n"
                  "  --cut-through on|off\n"
                  "                   override the response-framing\n"
                  "                   mode for scenarios that honour\n"
@@ -298,6 +315,7 @@ struct Options
     std::uint64_t seed = 42;
     std::string outDir = ".";
     std::string traceFile;
+    double timelineUs = 0.0;
     std::optional<bool> cutThrough;
     std::vector<std::string> names;
     std::vector<std::string> topoFiles;
@@ -355,6 +373,7 @@ makeContext(const std::string &name, const Options &opt)
     ctx.setOutDir(opt.outDir);
     ctx.setTraceEnabled(!opt.traceFile.empty());
     ctx.setCutThroughOverride(opt.cutThrough);
+    ctx.setTimelineWindowUs(opt.timelineUs);
     return ctx;
 }
 
@@ -472,6 +491,10 @@ parseAndRun(int argc, char **argv,
             opt.noWall = true;
         } else if (arg == "--trace" && i + 1 < argc) {
             opt.traceFile = argv[++i];
+        } else if (arg == "--timeline-window" && i + 1 < argc) {
+            opt.timelineUs = std::strtod(argv[++i], nullptr);
+            if (!(opt.timelineUs > 0))
+                return usage(argv[0]);
         } else if (arg == "--cut-through" && i + 1 < argc) {
             std::string v = argv[++i];
             if (v == "on")

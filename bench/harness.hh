@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/timeline/timeline.hh"
 #include "sim/trace/export.hh"
 #include "system/testbed.hh"
 
@@ -123,6 +124,27 @@ class ScenarioContext
             fp.cutThrough = *_cutThrough;
     }
 
+    /**
+     * Timeline window width (--timeline-window), microseconds.
+     * 0 = not forced: topology runs fall back to the spec's choice
+     * (on iff it declares monitors), other scenarios stay off.
+     */
+    double timelineWindowUs() const { return _timelineUs; }
+    void setTimelineWindowUs(double us) { _timelineUs = us; }
+
+    /**
+     * The merged windowed timeline (tf-bench-v2 `timeline` section
+     * + Perfetto counter tracks). Scenarios adopt their finished
+     * recorders/instance timelines into it; point sub-contexts merge
+     * into the parent on commit, so probes registered inside
+     * runPoints() must carry a per-point prefix ("p<i>.").
+     */
+    sim::timeline::Timeline &timeline() { return _timeline; }
+    const sim::timeline::Timeline &timeline() const
+    {
+        return _timeline;
+    }
+
     /** Snapshot a queue's trace buffer under a node label. */
     void collectTrace(const sim::EventQueue &eq, std::string node);
 
@@ -140,8 +162,9 @@ class ScenarioContext
      */
     void appendTraceMetrics();
 
-    /** Write the collected spans as trace-event JSON. */
-    bool writeTrace(const std::string &path) const;
+    /** Write the collected spans (and, when the timeline is live,
+     * its counter tracks + fault marks) as trace-event JSON. */
+    bool writeTrace(const std::string &path);
 
     /** Record one headline metric (insertion order preserved). */
     void metric(const std::string &name, double value,
@@ -196,8 +219,10 @@ class ScenarioContext
     bool _traceEnabled = false;
     std::optional<bool> _cutThrough;
     unsigned _jobs = 1;
+    double _timelineUs = 0.0;
     std::string _outDir = ".";
     sim::StatsRegistry _registry;
+    sim::timeline::Timeline _timeline;
     sim::trace::TraceCollector _collector;
     std::vector<Metric> _metrics;
     std::uint64_t _simTicks = 0;

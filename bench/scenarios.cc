@@ -13,6 +13,7 @@
 
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -762,6 +763,37 @@ faultSoakPoint(ScenarioContext &sub, std::size_t point, int totalOps)
     engine.attachStats(sub.registry().at(prefix + ".fault"));
     eq->attachStats(sub.registry().at(prefix + ".eq"));
 
+    // Windowed telemetry (--timeline-window): per-point series, so
+    // the soak's injected faults can be lined up against the latency
+    // and error perturbations they cause. Series carry the point
+    // prefix because every point merges into one parent timeline.
+    const double tlUs = sub.timelineWindowUs();
+    std::unique_ptr<sim::timeline::Recorder> rec;
+    sim::Counter opsDone, errsDone;
+    sim::QuantileSketch latSk;
+    int inflight = 0;
+    if (tlUs > 0) {
+        rec = std::make_unique<sim::timeline::Recorder>(
+            *eq, sim::microseconds(tlUs));
+        rec->addCounter(prefix + ".ops", opsDone, "ops");
+        rec->addCounter(prefix + ".errs", errsDone, "txns");
+        rec->addSketch(prefix + ".lat", latSk, "Us", "us");
+        rec->addGauge(
+            prefix + ".inflight",
+            [&inflight]() { return static_cast<double>(inflight); },
+            "txns");
+        sim::timeline::Recorder *r = rec.get();
+        std::string fprefix = prefix;
+        engine.setObserver(
+            [r, fprefix](const sim::fault::Event &ev) {
+                r->noteFault(fprefix + "." +
+                                 sim::fault::kindName(ev.kind) + ":" +
+                                 ev.point,
+                             ev.at, ev.at + ev.duration);
+            });
+        rec->start();
+    }
+
     const mem::Addr base =
         bed->serverA().datapath()->compute().window().base;
     const std::uint64_t lines = 256;
@@ -775,7 +807,6 @@ faultSoakPoint(ScenarioContext &sub, std::size_t point, int totalOps)
 
     std::uint64_t launched = 0, completed = 0, okN = 0, errN = 0,
                   timedOutN = 0, byteErrors = 0;
-    int inflight = 0;
     const int window = 48;
 
     std::function<void()> issueOne = [&]() {
@@ -797,10 +828,15 @@ faultSoakPoint(ScenarioContext &sub, std::size_t point, int totalOps)
             txn->data.assign(mem::cachelineBytes, pat);
         ++launched;
         ++inflight;
-        txn->onComplete = [&, line, write, pat](mem::MemTxn &t) {
+        sim::Tick t0 = eq->now();
+        txn->onComplete = [&, line, write, pat, t0](mem::MemTxn &t) {
             ++completed;
             --inflight;
             busy[line] = false;
+            opsDone.inc();
+            latSk.add(sim::toUs(eq->now() - t0));
+            if (t.status != mem::TxnStatus::Ok)
+                errsDone.inc();
             if (t.status == mem::TxnStatus::Ok) {
                 ++okN;
                 if (write) {
@@ -880,6 +916,10 @@ faultSoakPoint(ScenarioContext &sub, std::size_t point, int totalOps)
                 bed->serverA().issue(std::move(txn));
             };
         sweep(0);
+        // The sampler disarmed when the soak drained; re-arm it so
+        // the sweep's windows are recorded too.
+        if (rec)
+            rec->ensureArmed();
         eq->run();
         TF_ASSERT(sweepErrors == 0 && sweepBad == 0,
                   "post-recovery sweep: %llu errors, %llu bad lines",
@@ -907,6 +947,56 @@ faultSoakPoint(ScenarioContext &sub, std::size_t point, int totalOps)
     sub.addRun(*eq);
     if (sub.traceEnabled())
         sub.collectTrace(*eq, prefix);
+
+    if (rec) {
+        rec->finish();
+        sub.timeline().adopt(*rec);
+
+        // Causality check, scripted plan only (point 0's schedule is
+        // built to hit live traffic): every injected fault window
+        // must overlap — within a generous +/-2-window slack — some
+        // visible perturbation: an error completion, a windowed p99
+        // at least twice the quiet floor, or a throughput dip below
+        // half the peak.
+        if (point == 0) {
+            const auto &tl = sub.timeline();
+            const sim::Tick W = sim::microseconds(tlUs);
+            const std::size_t n = tl.windows();
+            double quiet = 0.0, peakOps = 0.0;
+            for (std::size_t w = 0; w < n; ++w) {
+                double p99 = tl.at(prefix + ".latP99Us", w);
+                if (std::isfinite(p99) && p99 > 0 &&
+                    (quiet == 0.0 || p99 < quiet))
+                    quiet = p99;
+                peakOps =
+                    std::max(peakOps, tl.at(prefix + ".ops", w));
+            }
+            auto perturbed = [&](std::size_t w) {
+                if (tl.at(prefix + ".errs", w) > 0)
+                    return true;
+                double p99 = tl.at(prefix + ".latP99Us", w);
+                if (std::isfinite(p99) && p99 > 2 * quiet)
+                    return true;
+                return peakOps > 0 &&
+                       tl.at(prefix + ".ops", w) < 0.5 * peakOps;
+            };
+            for (const auto &f : tl.faults()) {
+                std::size_t wb = f.begin / W;
+                std::size_t we =
+                    std::min(n ? n - 1 : 0, f.end / W + 2);
+                wb = wb > 2 ? wb - 2 : 0;
+                bool hit = false;
+                for (std::size_t w = wb; w <= we && !hit; ++w)
+                    hit = perturbed(w);
+                TF_ASSERT(hit,
+                          "fault %s [%llu, %llu] left no mark in any "
+                          "timeline series",
+                          f.label.c_str(),
+                          static_cast<unsigned long long>(f.begin),
+                          static_cast<unsigned long long>(f.end));
+            }
+        }
+    }
     sub.registry().freezeAll();
 }
 

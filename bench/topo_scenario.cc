@@ -12,6 +12,8 @@ runTopoScenario(ScenarioContext &ctx, const topo::Spec &spec)
     opt.jobs = ctx.jobs();
     opt.smoke = ctx.smoke();
     opt.cutThrough = ctx.cutThroughOverride();
+    opt.timelineUs = ctx.timelineWindowUs();
+    opt.dumpDir = ctx.outDir();
     topo::Instance inst(spec, opt);
 
     if (ctx.traceEnabled()) {
@@ -28,9 +30,9 @@ runTopoScenario(ScenarioContext &ctx, const topo::Spec &spec)
     std::uint64_t totalOps = 0;
     for (std::size_t i = 0; i < inst.trafficCount(); ++i) {
         const auto &t = inst.traffic(i);
-        totalOps += t.completed;
+        totalOps += t.completed.value();
         ctx.metric(t.name + ".ops",
-                   static_cast<double>(t.completed), "ops");
+                   static_cast<double>(t.completed.value()), "ops");
         if (t.latUs.count() > 0)
             ctx.latencyUs(t.name + ".lat", t.latUs);
     }
@@ -44,9 +46,22 @@ runTopoScenario(ScenarioContext &ctx, const topo::Spec &spec)
                "msgs");
     ctx.metric("fabric.queueMaxNs", inst.fabric().maxQueueDelayNs(),
                "ns");
+    ctx.metric("fabric.queueHighWater",
+               static_cast<double>(inst.fabric().maxQueueHighWater()),
+               "msgs");
     if (!spec.faults.empty())
         ctx.metric("faultsFired",
                    static_cast<double>(inst.faultsFired()), "events");
+
+    // Watchdog outcomes double as gateable headline metrics: the
+    // baseline pins e.g. slo.victim_quiet.violations at 0 so a
+    // regression that perturbs the quiet phase fails CI.
+    for (const auto &s : inst.sloResults()) {
+        ctx.metric("slo." + s.name + ".violations",
+                   static_cast<double>(s.violations), "windows");
+        ctx.metric("slo." + s.name + ".worstValue", s.worstValue);
+    }
+    ctx.timeline().adopt(inst.timeline());
 
     for (std::size_t i = 0; i < inst.lpCount(); ++i) {
         ctx.addRun(inst.lp(i).queue());

@@ -49,7 +49,7 @@ main(int argc, char **argv)
                 "  %-18s %6llu/%llu ops  mean %8.3f us  "
                 "p99 %8.3f us\n",
                 t.name.c_str(),
-                static_cast<unsigned long long>(t.completed),
+                static_cast<unsigned long long>(t.completed.value()),
                 static_cast<unsigned long long>(t.target),
                 t.latUs.mean(), t.latUs.quantile(0.99));
         }

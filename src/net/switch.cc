@@ -32,6 +32,17 @@ FabricLink::send(std::uint64_t bytes, sim::Tick extraDelay,
     _messages.inc();
     _bytes.inc(bytes);
     _queueNs.add(sim::toNs(start - ready));
+    // Occupancy bookkeeping: a message owns a queue slot from the
+    // tick it becomes ready until the port finishes serialising it.
+    // High-water is the deepest the port backlog ever got — the
+    // timeline surfaces it so trunk oversubscription shows up as a
+    // filling queue, not just a worse p99.
+    while (!_queued.empty() && _queued.front() <= ready)
+        _queued.pop_front();
+    _queued.push_back(start + ser);
+    if (_queued.size() > _queueHighWater.value())
+        _queueHighWater.inc(_queued.size() - _queueHighWater.value());
+    _occupancyNs.inc((start - ready) / sim::ticksPerNs);
     sim::Tick deliver = start + ser + _params.latency + spikeNow();
     // Every hop is its own span on the source element's LP: crossing
     // + egress queue + serialisation + wire, begin at ingress.
@@ -71,6 +82,14 @@ FabricLink::spike(sim::Tick extra, sim::Tick duration)
     });
 }
 
+std::size_t
+FabricLink::queueDepth(sim::Tick at)
+{
+    while (!_queued.empty() && _queued.front() <= at)
+        _queued.pop_front();
+    return _queued.size();
+}
+
 void
 FabricLink::attachStats(sim::StatSet &set)
 {
@@ -78,6 +97,10 @@ FabricLink::attachStats(sim::StatSet &set)
     set.attach("bytes", _bytes, "bytes");
     set.attach("queueNs", _queueNs, "ns",
                "egress output-queue delay per message");
+    set.attach("queueHighWater", _queueHighWater, "msgs",
+               "deepest egress backlog (queued + serialising)");
+    set.attach("queueOccupancyNs", _occupancyNs, "ns",
+               "summed time messages waited for the port");
     set.attach("latencySpikes", _spikes, "events",
                "injected latency-spike windows");
 }
@@ -318,6 +341,26 @@ Fabric::maxQueueDelayNs() const
     for (const auto &kv : _links)
         worst = std::max(worst, kv.second->queueDelayNs().max());
     return worst;
+}
+
+std::uint64_t
+Fabric::maxQueueHighWater() const
+{
+    std::uint64_t worst = 0;
+    for (const auto &kv : _links)
+        worst = std::max(worst, kv.second->queueHighWater());
+    return worst;
+}
+
+void
+Fabric::forEachLink(
+    const std::function<void(const std::string &, FabricLink &,
+                             sim::par::LogicalProcess *)> &fn)
+{
+    for (auto &kv : _links) {
+        std::string src = kv.first.substr(0, kv.first.find("->"));
+        fn(kv.first, *kv.second, element(src).home);
+    }
 }
 
 void

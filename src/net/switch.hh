@@ -27,6 +27,8 @@
 #ifndef TF_NET_SWITCH_HH
 #define TF_NET_SWITCH_HH
 
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -92,6 +94,21 @@ class FabricLink : public sim::SimObject
     /** Egress output-queue delay distribution, in nanoseconds. */
     const sim::Summary &queueDelayNs() const { return _queueNs; }
 
+    /**
+     * Messages occupying this egress port (queued or serialising) at
+     * @p at. Prunes departed entries, so @p at must not go backwards
+     * between calls — the timeline gauge samples it at
+     * monotonically-increasing window boundaries.
+     */
+    std::size_t queueDepth(sim::Tick at);
+
+    /** Deepest the egress queue ever got, in messages. */
+    std::uint64_t queueHighWater() const { return _queueHighWater.value(); }
+    /** Total time messages spent waiting for the port (ns, summed). */
+    const sim::Counter &queueOccupancyNs() const { return _occupancyNs; }
+    const sim::Counter &bytesCounter() const { return _bytes; }
+    const sim::Counter &messagesCounter() const { return _messages; }
+
     void attachStats(sim::StatSet &set);
 
   private:
@@ -104,6 +121,10 @@ class FabricLink : public sim::SimObject
     sim::Counter _bytes;
     sim::Counter _spikes;
     sim::Summary _queueNs;
+    /** Departure times (port-free tick) of in-queue messages. */
+    std::deque<sim::Tick> _queued;
+    sim::Counter _queueHighWater;
+    sim::Counter _occupancyNs;
 
     sim::Tick spikeNow() const
     {
@@ -172,6 +193,19 @@ class Fabric
 
     /** Worst egress output-queue delay seen anywhere, nanoseconds. */
     double maxQueueDelayNs() const;
+
+    /** Deepest any egress queue ever got, in messages. */
+    std::uint64_t maxQueueHighWater() const;
+
+    /**
+     * Visit every directed link as (key, link, home LP) in sorted
+     * key order; home is the *source* element's LP (nullptr when
+     * unassigned). The timeline wiring uses this to hang per-port
+     * probes on the LP that owns each egress queue.
+     */
+    void forEachLink(
+        const std::function<void(const std::string &, FabricLink &,
+                                 sim::par::LogicalProcess *)> &fn);
 
     /**
      * Register per-link stats under "<prefix>.<src>-><dst>" and

@@ -243,6 +243,8 @@ Engine::fire(const Event &ev)
     if (_reg.dispatch(ev)) {
         _fired.inc();
         _firedByKind[static_cast<std::size_t>(ev.kind)].inc();
+        if (_observer)
+            _observer(ev);
     } else {
         _unmatched.inc();
     }

@@ -27,6 +27,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -225,9 +226,22 @@ class Engine
     /** Attach armed/fired/unmatched + per-kind counters. */
     void attachStats(StatSet &set);
 
+    /**
+     * Observe every event that dispatches to a registered point,
+     * called at fire time on the engine's own queue thread (after
+     * the point handler ran). The timeline recorder uses this to
+     * annotate fault windows on the exported counter tracks;
+     * unmatched events are not reported -- they perturbed nothing.
+     */
+    void setObserver(std::function<void(const Event &)> fn)
+    {
+        _observer = std::move(fn);
+    }
+
   private:
     void fire(const Event &ev);
 
+    std::function<void(const Event &)> _observer;
     EventQueue &_eq;
     const Registry &_reg;
     Counter _armed;

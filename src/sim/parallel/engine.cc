@@ -131,6 +131,8 @@ ParallelEngine::mergeChannels()
             ch->_delivered.inc(ch->_outbox.size());
             ch->_outbox.clear();
         }
+        if (lp->_wakeHook)
+            lp->_wakeHook();
     }
 }
 

@@ -17,7 +17,9 @@
 #define TF_SIM_PARALLEL_LP_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -58,8 +60,21 @@ class LogicalProcess
      */
     std::uint64_t barrierWaitNs() const { return _barrierWaitNs.value(); }
 
+    /**
+     * Invoked by the engine after cross-LP messages are merged into
+     * this LP's queue at a window barrier. The merge runs
+     * single-threaded on the coordinator in both the serial and
+     * parallel paths, so the hook sees the queue in the same state
+     * regardless of --jobs. Observers that disarm themselves when
+     * the queue drains (the timeline sampler) use it to re-arm on
+     * newly delivered work.
+     */
+    void setWakeHook(std::function<void()> fn) { _wakeHook = std::move(fn); }
+
   private:
     friend class ParallelEngine;
+
+    std::function<void()> _wakeHook;
 
     LpId _id;
     std::string _name;

@@ -221,6 +221,41 @@ QuantileSketch::quantile(double q) const
     return _max;
 }
 
+QuantileSketch
+QuantileSketch::delta(const QuantileSketch &prev) const
+{
+    TF_ASSERT(_count >= prev._count, "sketch delta: count went backwards");
+    QuantileSketch out;
+    if (_count == prev._count)
+        return out;
+    out._count = _count - prev._count;
+    out._zeroCount = _zeroCount - prev._zeroCount;
+    out._sum = _sum - prev._sum;
+    out._buckets.assign(_buckets.begin(), _buckets.end());
+    for (std::size_t i = 0; i < prev._buckets.size(); ++i) {
+        TF_ASSERT(out._buckets[i] >= prev._buckets[i],
+                  "sketch delta: bucket went backwards");
+        out._buckets[i] -= prev._buckets[i];
+    }
+    // Exact per-window extrema are gone once samples fold into
+    // buckets; use the occupied bucket edges so quantile()'s clamp
+    // stays sound (lower edge of the lowest bucket, upper edge of
+    // the highest).
+    out._min = out._zeroCount ? std::min(_min, 0.0)
+                              : std::numeric_limits<double>::infinity();
+    out._max = out._zeroCount ? 0.0
+                              : -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < out._buckets.size(); ++i) {
+        if (!out._buckets[i])
+            continue;
+        out._min = std::min(out._min, bucketValue(i));
+        out._max = std::max(out._max, bucketValue(i + 1));
+    }
+    out._min = std::max(out._min, _min);
+    out._max = std::min(out._max, _max);
+    return out;
+}
+
 // --------------------------------------------------------- StatSet
 
 void

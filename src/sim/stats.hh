@@ -172,6 +172,18 @@ class QuantileSketch
      */
     double quantile(double q) const;
 
+    /**
+     * Bucket-wise difference against an earlier snapshot of the same
+     * stream: the returned sketch holds exactly the samples added
+     * since @p prev was copied, so successive snapshots of a live
+     * sketch yield per-window distributions without per-sample
+     * storage. @p prev must be a prefix of this sketch (same stream,
+     * taken earlier); counts going backwards are a logic error. The
+     * delta's min/max are bucket edges, not exact sample values --
+     * the per-window quantile clamp is correspondingly coarser.
+     */
+    QuantileSketch delta(const QuantileSketch &prev) const;
+
   private:
     std::vector<std::uint64_t> _buckets; ///< lazily sized
     std::uint64_t _zeroCount = 0;

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <set>
+
+#include "sim/json.hh"
+#include "sim/timeline/timeline.hh"
 
 namespace tf::sim::trace {
 
@@ -73,12 +78,79 @@ writeEvent(std::ostream &os, const SpanEvent &ev, std::size_t pid)
     os << "}";
 }
 
+/**
+ * The timeline rides in the same document as the spans: counter
+ * tracks under a synthetic pid 0 so Perfetto stacks them above the
+ * per-node span processes, and fault windows as complete events on
+ * one "faults" thread. Emission order (series name, window index;
+ * then faults as the Timeline sorted them) is deterministic because
+ * the merged timeline itself is.
+ */
+void
+writeTimelineEvents(std::ostream &os, const timeline::Timeline &tl,
+                    const std::function<void()> &sep)
+{
+    constexpr std::size_t kTimelinePid = 0;
+    constexpr int kFaultTid = 1;
+    if (tl.series().empty() && tl.faults().empty())
+        return;
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << kTimelinePid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"timeline\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << kTimelinePid
+       << ",\"name\":\"process_sort_index\",\"args\":{\"sort_index\":-1}}";
+    for (const auto &[name, series] : tl.series()) {
+        for (std::size_t w = 0; w < tl.windows(); ++w) {
+            double v = w < series.values.size()
+                           ? series.values[w]
+                           : timeline::Timeline::padValue(series);
+            if (!std::isfinite(v))
+                continue; // empty window: no point, not a zero
+            sep();
+            os << "{\"ph\":\"C\",\"cat\":\"timeline\",\"name\":\""
+               << escape(name) << "\",\"pid\":" << kTimelinePid
+               << ",\"ts\":";
+            writeTs(os, static_cast<Tick>(w) * tl.window());
+            os << ",\"args\":{\"value\":"
+               << JsonWriter::formatDouble(v) << "}}";
+        }
+    }
+    if (tl.faults().empty())
+        return;
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << kTimelinePid
+       << ",\"tid\":" << kFaultTid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"faults\"}}";
+    auto faults = tl.faults();
+    std::sort(faults.begin(), faults.end(),
+              [](const timeline::FaultWindow &a,
+                 const timeline::FaultWindow &b) {
+                  if (a.begin != b.begin)
+                      return a.begin < b.begin;
+                  if (a.label != b.label)
+                      return a.label < b.label;
+                  return a.end < b.end;
+              });
+    for (const auto &f : faults) {
+        sep();
+        os << "{\"ph\":\"X\",\"cat\":\"fault\",\"name\":\""
+           << escape(f.label) << "\",\"pid\":" << kTimelinePid
+           << ",\"tid\":" << kFaultTid << ",\"ts\":";
+        writeTs(os, f.begin);
+        os << ",\"dur\":";
+        writeTs(os, f.end - f.begin);
+        os << "}";
+    }
+}
+
 } // namespace
 
 void
 writeTraceEventsJson(std::ostream &os,
                      const std::vector<NodeTrace> &nodes,
-                     const char *reason)
+                     const char *reason,
+                     const timeline::Timeline *tl)
 {
     os << "{\"traceEvents\":[";
     bool first = true;
@@ -144,6 +216,9 @@ writeTraceEventsJson(std::ostream &os,
         writeEvent(os, nodes[r.node].events[r.idx], r.node + 1);
     }
 
+    if (tl != nullptr)
+        writeTimelineEvents(os, *tl, sep);
+
     os << "],\n\"displayTimeUnit\":\"ns\"";
     if (reason != nullptr)
         os << ",\n\"otherData\":{\"reason\":\""
@@ -171,7 +246,7 @@ TraceCollector::adopt(TraceCollector &&other)
 void
 TraceCollector::writeJson(std::ostream &os) const
 {
-    writeTraceEventsJson(os, _nodes, nullptr);
+    writeTraceEventsJson(os, _nodes, nullptr, _timeline);
 }
 
 Attribution

@@ -30,6 +30,10 @@
 #include "sim/trace/buffer.hh"
 #include "sim/trace/span.hh"
 
+namespace tf::sim::timeline {
+class Timeline;
+}
+
 namespace tf::sim::trace {
 
 /** One node's span-event stream, in append order. */
@@ -56,10 +60,19 @@ struct Attribution
  * non-null, lands in otherData (the flight dump records the panic
  * message there). Timestamps are microseconds with six decimals, so
  * picosecond ticks survive the format exactly.
+ *
+ * A non-null @p tl interleaves the merged timeline into the same
+ * document as Perfetto counter tracks ("ph":"C", one point per
+ * closed window at the window-start timestamp) under a synthetic
+ * pid-0 "timeline" process, and every fault-engine window as a
+ * complete event ("ph":"X") on its "faults" track — so a latency
+ * spike in a counter series visually lines up with the injected
+ * cause and the surrounding datapath spans.
  */
 void writeTraceEventsJson(std::ostream &os,
                           const std::vector<NodeTrace> &nodes,
-                          const char *reason);
+                          const char *reason,
+                          const timeline::Timeline *tl = nullptr);
 
 class TraceCollector
 {
@@ -69,6 +82,12 @@ class TraceCollector
 
     /** Append @p other's node streams after this collector's. */
     void adopt(TraceCollector &&other);
+
+    /**
+     * Interleave @p tl as counter tracks + fault marks in writeJson.
+     * The pointer must stay valid until then; nullptr detaches.
+     */
+    void setTimeline(const timeline::Timeline *tl) { _timeline = tl; }
 
     bool empty() const { return _nodes.empty(); }
     std::size_t nodeCount() const { return _nodes.size(); }
@@ -82,6 +101,7 @@ class TraceCollector
 
   private:
     std::vector<NodeTrace> _nodes;
+    const timeline::Timeline *_timeline = nullptr;
 };
 
 } // namespace tf::sim::trace

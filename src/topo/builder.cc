@@ -71,6 +71,7 @@ Instance::Instance(const Spec &spec, BuildOptions opt)
     buildFabric();
     buildFaults();
     buildTraffic();
+    buildTimeline();
 }
 
 Instance::~Instance() = default;
@@ -386,9 +387,11 @@ Instance::rpcOp(Runner &r)
                     _fabric->send(
                         rp->ts->dst, rp->ts->src, respBytes,
                         [this, rp, t0]() {
-                            rp->stats.latUs.add(
-                                sim::toUs(rp->q->now() - t0));
-                            rp->stats.completed++;
+                            double us =
+                                sim::toUs(rp->q->now() - t0);
+                            rp->stats.latUs.add(us);
+                            rp->stats.latSketch.add(us);
+                            rp->stats.completed.inc();
                             rp->stats.lastDone = rp->q->now();
                             if (rp->issued < rp->target)
                                 rpcOp(*rp);
@@ -421,8 +424,10 @@ Instance::memoryOp(Runner &r)
     auto txn = mem::makeTxn(type, addr, bytes);
     Runner *rp = &r;
     txn->onComplete = [this, rp, t0](mem::MemTxn &) {
-        rp->stats.latUs.add(sim::toUs(rp->q->now() - t0));
-        rp->stats.completed++;
+        double us = sim::toUs(rp->q->now() - t0);
+        rp->stats.latUs.add(us);
+        rp->stats.latSketch.add(us);
+        rp->stats.completed.inc();
         rp->stats.lastDone = rp->q->now();
         if (rp->issued < rp->target)
             memoryOp(*rp);
@@ -430,10 +435,134 @@ Instance::memoryOp(Runner &r)
     r.srcNode->issue(std::move(txn));
 }
 
+void
+Instance::buildTimeline()
+{
+    bool enabled = _opt.timelineUs > 0.0 || !_spec.monitors.empty();
+    if (!enabled)
+        return;
+    double widthUs =
+        _opt.timelineUs > 0.0 ? _opt.timelineUs : _spec.timelineUs;
+    sim::Tick window = sim::microseconds(widthUs);
+
+    for (std::size_t i = 0; i < _engine->lpCount(); ++i) {
+        auto rec = std::make_unique<sim::timeline::Recorder>(
+            _engine->lp(i).queue(), window);
+        if (!_opt.dumpDir.empty())
+            rec->setDumpDir(_opt.dumpDir);
+        _recorders.push_back(std::move(rec));
+    }
+
+    // Traffic probes live on the stanza's source LP: per-window
+    // completions plus the windowed latency quantiles (whose series
+    // names match the aggregate bench metrics, "<name>.latP99Us").
+    for (auto &rp : _runners) {
+        Runner *r = rp.get();
+        sim::timeline::Recorder &rec =
+            *_recorders.at(group(r->ts->src)->lp->id());
+        rec.addCounter(r->ts->name + ".ops", r->stats.completed,
+                       "ops");
+        rec.addSketch(r->ts->name + ".lat", r->stats.latSketch, "Us",
+                      "us");
+    }
+
+    // Per-port fabric probes, on the LP owning each egress queue:
+    // instantaneous depth (gauge), bytes and waiting time (deltas).
+    _fabric->forEachLink([this](const std::string &key,
+                                net::FabricLink &link,
+                                sim::par::LogicalProcess *home) {
+        if (home == nullptr)
+            return;
+        sim::timeline::Recorder &rec = *_recorders.at(home->id());
+        net::FabricLink *l = &link;
+        sim::EventQueue *q = &home->queue();
+        rec.addGauge(
+            "fabric." + key + ".queueDepth",
+            [l, q]() {
+                return static_cast<double>(l->queueDepth(q->now()));
+            },
+            "msgs");
+        rec.addCounter("fabric." + key + ".bytes",
+                       link.bytesCounter(), "bytes");
+        rec.addCounter("fabric." + key + ".queueOccupancyNs",
+                       link.queueOccupancyNs(), "ns");
+    });
+
+    // Fault windows annotate the timeline of the LP that fired them.
+    for (std::size_t i = 0; i < _faultEngines.size(); ++i) {
+        sim::timeline::Recorder *rec = _recorders.at(i).get();
+        _faultEngines[i]->setObserver(
+            [rec](const sim::fault::Event &ev) {
+                rec->noteFault(
+                    std::string(sim::fault::kindName(ev.kind)) + ":" +
+                        ev.point,
+                    ev.at, ev.at + ev.duration);
+            });
+    }
+
+    // Bind each monitors stanza to the recorder producing its metric;
+    // a typo'd metric is a config error with file:line:col, not a
+    // TF_ASSERT deep in the watchdog.
+    for (const MonitorSpec &m : _spec.monitors) {
+        sim::timeline::SloRule rule;
+        rule.name = m.name;
+        rule.metric = m.metric;
+        bool opOk = sim::timeline::parseOp(m.op, rule.op);
+        TF_ASSERT(opOk, "unvalidated monitor op '%s'", m.op.c_str());
+        rule.threshold = m.threshold;
+        rule.forWindows = static_cast<std::uint32_t>(m.forWindows);
+        rule.from = sim::microseconds(m.fromUs);
+        rule.until = m.untilUs < 0 ? sim::maxTick
+                                   : sim::microseconds(m.untilUs);
+        rule.dumpFlight = m.dumpFlight;
+
+        sim::timeline::Recorder *owner = nullptr;
+        for (auto &rec : _recorders)
+            if (rec->hasSeries(m.metric)) {
+                owner = rec.get();
+                break;
+            }
+        if (owner == nullptr) {
+            std::string known;
+            for (const auto &rec : _recorders)
+                for (const std::string &n : rec->seriesNames())
+                    known += (known.empty() ? "" : ", ") + n;
+            throw SpecError(m.where + ": monitor \"" + m.name +
+                            "\" references unknown metric \"" +
+                            m.metric + "\" (known series: " + known +
+                            ")");
+        }
+        owner->addRule(rule);
+    }
+
+    // Wake hooks re-arm a drained sampler when the merge delivers
+    // fresh cross-LP work; then arm everyone for tick 0.
+    for (std::size_t i = 0; i < _recorders.size(); ++i) {
+        sim::timeline::Recorder *rec = _recorders[i].get();
+        _engine->lp(i).setWakeHook([rec]() { rec->ensureArmed(); });
+        rec->start();
+    }
+}
+
+void
+Instance::harvestTimeline()
+{
+    if (_recorders.empty() || _harvested)
+        return;
+    _harvested = true;
+    for (auto &rec : _recorders)
+        rec->finish();
+    // LP-index order keeps the merge deterministic for any --jobs.
+    for (auto &rec : _recorders)
+        _timeline.adopt(*rec);
+}
+
 std::uint64_t
 Instance::run()
 {
-    return _engine->run();
+    std::uint64_t events = _engine->run();
+    harvestTimeline();
+    return events;
 }
 
 const Instance::TrafficStats &
@@ -481,9 +610,21 @@ Instance::registerStats(sim::StatsRegistry &reg)
     for (auto &rp : _runners) {
         sim::StatSet &set = reg.at("traffic." + rp->stats.name);
         set.record("completed",
-                   static_cast<double>(rp->stats.completed), "ops");
+                   static_cast<double>(rp->stats.completed.value()),
+                   "ops");
         set.record("target", static_cast<double>(rp->stats.target),
                    "ops");
+    }
+    for (const auto &s : _timeline.slo()) {
+        sim::StatSet &set = reg.at("slo." + s.name);
+        set.record("violations", static_cast<double>(s.violations),
+                   "windows");
+        set.record("evaluated", static_cast<double>(s.evaluated),
+                   "windows");
+        set.record("worstValue", s.worstValue, "");
+        if (s.firstViolationTick != sim::maxTick)
+            set.record("firstViolationUs",
+                       sim::toUs(s.firstViolationTick), "us");
     }
     for (std::size_t i = 0; i < _faultEngines.size(); ++i)
         _faultEngines[i]->attachStats(

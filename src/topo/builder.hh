@@ -33,6 +33,7 @@
 #include "net/switch.hh"
 #include "sim/fault/fault.hh"
 #include "sim/parallel/engine.hh"
+#include "sim/timeline/timeline.hh"
 #include "system/node.hh"
 #include "topo/spec.hh"
 
@@ -46,6 +47,15 @@ struct BuildOptions
     bool smoke = false;
     /** Response-framing override (bench --cut-through). */
     std::optional<bool> cutThrough;
+    /**
+     * Timeline window width override (bench --timeline-window), in
+     * microseconds. 0 keeps the spec's choice: the timeline is on
+     * whenever the spec declares monitors (width = spec.timelineUs)
+     * and off otherwise.
+     */
+    double timelineUs = 0.0;
+    /** Directory for SLO dumpFlight breach dumps ("" = cwd). */
+    std::string dumpDir;
 };
 
 class Instance
@@ -74,10 +84,13 @@ class Instance
     struct TrafficStats
     {
         std::string name;
-        std::uint64_t target = 0;    ///< ops requested
-        std::uint64_t completed = 0; ///< ops finished
-        sim::SampleStat latUs;       ///< per-op latency, microseconds
-        sim::Tick lastDone = 0;      ///< completion time of the last op
+        std::uint64_t target = 0;  ///< ops requested
+        sim::Counter completed;    ///< ops finished
+        sim::SampleStat latUs;     ///< per-op latency, microseconds
+        /** Same latencies, sketched — feeds the per-window p50/p95/
+         * p99 timeline series ("<name>.latP99Us"). */
+        sim::QuantileSketch latSketch;
+        sim::Tick lastDone = 0; ///< completion time of the last op
     };
 
     std::size_t trafficCount() const { return _runners.size(); }
@@ -88,6 +101,21 @@ class Instance
 
     /** Simulated span: latest traffic completion across stanzas. */
     sim::Tick lastCompletion() const;
+
+    /** Is the windowed timeline recording this instance? */
+    bool timelineEnabled() const { return !_recorders.empty(); }
+
+    /**
+     * The merged timeline (empty until run() finishes). Valid for
+     * the Instance's lifetime; the bench harness adopts a copy.
+     */
+    const sim::timeline::Timeline &timeline() const { return _timeline; }
+
+    /** Watchdog outcomes, one per monitors stanza (post-run). */
+    const std::vector<sim::timeline::SloResult> &sloResults() const
+    {
+        return _timeline.slo();
+    }
 
     /**
      * Register the whole instance under @p reg:
@@ -113,6 +141,10 @@ class Instance
     /** Per-LP fault plumbing, index = LP id. */
     std::vector<std::unique_ptr<sim::fault::Registry>> _faultRegs;
     std::vector<std::unique_ptr<sim::fault::Engine>> _faultEngines;
+    /** Per-LP timeline recorders, index = LP id; empty = disabled. */
+    std::vector<std::unique_ptr<sim::timeline::Recorder>> _recorders;
+    sim::timeline::Timeline _timeline;
+    bool _harvested = false;
 
     Group *group(const std::string &nodeName);
     sys::Node *nodeOf(const std::string &nodeName);
@@ -120,6 +152,8 @@ class Instance
     void buildFabric();
     void buildFaults();
     void buildTraffic();
+    void buildTimeline();
+    void harvestTimeline();
     void startRpc(Runner &r);
     void startMemory(Runner &r);
     void rpcOp(Runner &r);

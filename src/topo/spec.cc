@@ -200,7 +200,7 @@ parseSpec(const std::string &text, const std::string &origin)
     if (!root.isObject())
         fail(root, "topology file must be a JSON object");
     checkKeys(root, {"name", "nodes", "switches", "links", "traffic",
-                     "faults"});
+                     "faults", "monitors", "timelineUs"});
 
     Spec spec;
     spec.name = str(require(root, "name"), "\"name\"");
@@ -464,6 +464,49 @@ parseSpec(const std::string &text, const std::string &origin)
         if (f.extraNs < 0)
             fail(fv, "fault extraNs must not be negative");
         spec.faults.push_back(std::move(f));
+    }
+
+    // --- timeline + monitors -----------------------------------------
+    spec.timelineUs = numOr(root, "timelineUs", spec.timelineUs);
+    if (spec.timelineUs <= 0)
+        fail(root, "timelineUs must be positive");
+    std::set<std::string> monitorNames;
+    for (const Value &mv : arrayOf(root, "monitors", false).items()) {
+        if (!mv.isObject())
+            fail(mv, "monitor entry must be an object");
+        checkKeys(mv, {"name", "metric", "op", "threshold",
+                       "forWindows", "fromUs", "untilUs", "dumpFlight"});
+        MonitorSpec m;
+        m.name = str(require(mv, "name"), "monitor \"name\"");
+        checkIdent(require(mv, "name"), m.name, "monitor");
+        if (!monitorNames.insert(m.name).second)
+            fail(mv, "duplicate monitor name \"" + m.name + "\"");
+        m.metric = str(require(mv, "metric"), "monitor \"metric\"");
+        if (m.metric.empty())
+            fail(mv, "monitor \"" + m.name +
+                         "\" metric must not be empty");
+        m.op = strOr(mv, "op", m.op);
+        if (m.op != ">" && m.op != "<" && m.op != ">=" && m.op != "<=")
+            fail(mv, "monitor \"" + m.name + "\" op must be one of "
+                     "\">\", \"<\", \">=\", \"<=\", got \"" + m.op +
+                         "\"");
+        m.threshold = num(require(mv, "threshold"),
+                          "monitor \"threshold\"");
+        m.forWindows = uintOr(mv, "forWindows", m.forWindows);
+        if (m.forWindows < 1)
+            fail(mv, "monitor \"" + m.name +
+                         "\" forWindows must be >= 1");
+        m.fromUs = numOr(mv, "fromUs", m.fromUs);
+        if (m.fromUs < 0)
+            fail(mv, "monitor \"" + m.name +
+                         "\" fromUs must not be negative");
+        m.untilUs = numOr(mv, "untilUs", m.untilUs);
+        if (mv.find("untilUs") != nullptr && m.untilUs <= m.fromUs)
+            fail(mv, "monitor \"" + m.name +
+                         "\" untilUs must exceed fromUs");
+        m.dumpFlight = boolOr(mv, "dumpFlight", m.dumpFlight);
+        m.where = mv.where();
+        spec.monitors.push_back(std::move(m));
     }
 
     return spec;

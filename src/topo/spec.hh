@@ -33,7 +33,13 @@
  *        "policy": "remote", "accessBytes": 128, "ops": 4000}
  *     ],
  *     "faults": [{"kind": "latencySpike", "point": "fabric.h0->s0",
- *                 "atUs": 50, "forUs": 20, "extraNs": 2000}]
+ *                 "atUs": 50, "forUs": 20, "extraNs": 2000}],
+ *     "timelineUs": 50,
+ *     "monitors": [
+ *       {"name": "vic_tail", "metric": "vic.latP99Us", "op": ">",
+ *        "threshold": 30, "forWindows": 2, "fromUs": 500,
+ *        "dumpFlight": false}
+ *     ]
  *   }
  */
 
@@ -115,6 +121,32 @@ struct TrafficSpec
     double startUs = 0.0;
 };
 
+/**
+ * Declarative SLO rule from the "monitors" stanza, bound at build
+ * time to the timeline series named by @p metric (the builder
+ * rejects unknown metrics with a file:line:col SpecError listing
+ * what exists). Evaluated by the in-sim watchdog as timeline
+ * windows close; results land under "slo.<name>.*".
+ */
+struct MonitorSpec
+{
+    std::string name;
+    /** Timeline series, e.g. "vic.latP99Us" or
+     * "fabric.s0->s1.queueDepth". */
+    std::string metric;
+    /** ">", "<", ">=" or "<=". */
+    std::string op = ">";
+    double threshold = 0.0;
+    /** Consecutive bad windows before violations count. */
+    std::uint64_t forWindows = 1;
+    double fromUs = 0.0;
+    /** < 0 = end of run. */
+    double untilUs = -1.0;
+    bool dumpFlight = false;
+    /** file:line:col of the stanza, for build-time diagnostics. */
+    std::string where;
+};
+
 struct FaultSpec
 {
     /** fault kind name: channelFail, channelFlap, burstLoss,
@@ -135,6 +167,11 @@ struct Spec
     std::vector<LinkSpec> links;
     std::vector<TrafficSpec> traffic;
     std::vector<FaultSpec> faults;
+    std::vector<MonitorSpec> monitors;
+    /** Timeline window width; the default applies when monitors are
+     * declared (or the harness enables the timeline) without an
+     * explicit "timelineUs". */
+    double timelineUs = 50.0;
 
     const NodeSpec *node(const std::string &name) const;
 };

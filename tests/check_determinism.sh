@@ -48,6 +48,23 @@ for jobs in 1 2 4; do
         --out "$workdir/tj$jobs" > /dev/null
 done
 
+# Windowed telemetry leg: the timeline sampler schedules real events
+# (boundary closes, disarm/re-arm through the merge wake hook), so it
+# must itself be invisible to worker count — both the `timeline`
+# section in the BENCH JSON and the Perfetto counter tracks in the
+# trace file. noisy_neighbor's monitors auto-enable its timeline; the
+# soak gets an explicit 10 us window over its per-point series.
+for jobs in 1 2 4; do
+    mkdir -p "$workdir/tlj$jobs"
+    "$bench" --smoke --no-wall --seed 42 --jobs "$jobs" \
+        --scenario fault_soak --timeline-window 10 \
+        --out "$workdir/tlj$jobs" > /dev/null
+    "$bench" --smoke --no-wall --seed 42 --jobs "$jobs" \
+        --topo "$configdir/noisy_neighbor.json" \
+        --trace "$workdir/tlj$jobs/trace.json" \
+        --out "$workdir/tlj$jobs" > /dev/null
+done
+
 # Both framing modes must hold the guarantee: cut-through adds the
 # early-release set and per-transaction staggered delivery, which is
 # exactly the kind of machinery that could leak scheduling order.
@@ -83,6 +100,25 @@ for t in noisy_neighbor ring; do
         fi
     done
 done
+for f in BENCH_fault_soak.json BENCH_noisy_neighbor.json trace.json; do
+    for jobs in 2 4; do
+        if ! cmp -s "$workdir/tlj1/$f" "$workdir/tlj$jobs/$f"; then
+            echo "FAIL: timeline leg $f differs between --jobs 1" \
+                 "and --jobs $jobs" >&2
+            diff "$workdir/tlj1/$f" "$workdir/tlj$jobs/$f" \
+                | head -20 >&2
+            status=1
+        fi
+    done
+done
+if ! grep -q '"ph":"C"' "$workdir/tlj1/trace.json"; then
+    echo "FAIL: timeline trace carries no counter-track events" >&2
+    status=1
+fi
+if ! grep -q '"timeline"' "$workdir/tlj1/BENCH_fault_soak.json"; then
+    echo "FAIL: --timeline-window produced no timeline section" >&2
+    status=1
+fi
 for jobs in 2 4; do
     if ! cmp -s "$workdir/sfj1/BENCH_proto_datapath.json" \
                 "$workdir/sfj$jobs/BENCH_proto_datapath.json"; then
@@ -103,6 +139,7 @@ fi
 
 if [ "$status" -eq 0 ]; then
     echo "determinism OK: $scenarios + topo noisy_neighbor/ring" \
-         "byte-identical at --jobs 1/2/4 (cut-through on and off)"
+         "+ timeline/trace byte-identical at --jobs 1/2/4" \
+         "(cut-through on and off)"
 fi
 exit $status

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the windowed timeline subsystem (sim/timeline): the
+ * sampling protocol (boundary closes, gap batching, disarm/re-arm),
+ * per-window counter deltas / gauge samples / quantile sketches, the
+ * declarative SLO watchdog (trip, hysteresis, evaluation ranges),
+ * and the Timeline merge (prefixes, delta summing, padding).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/timeline/timeline.hh"
+
+using namespace tf;
+using sim::timeline::Recorder;
+using sim::timeline::SloRule;
+using sim::timeline::Timeline;
+
+namespace {
+
+constexpr sim::Tick kW = 1000; // window width for these tests
+
+} // namespace
+
+// ------------------------------------------------ sampling protocol
+
+TEST(TimelineRecorderT, CounterDeltasLandInTheirWindows)
+{
+    sim::EventQueue eq;
+    sim::Counter c;
+    eq.schedule(100, [&] { c.inc(); });
+    eq.schedule(1500, [&] { c.inc(2); });
+    // Two empty windows, then activity again: the sampler skips the
+    // gap in one batch close, attributing nothing to w2/w3.
+    eq.schedule(4200, [&] { c.inc(); });
+
+    Recorder rec(eq, kW);
+    rec.addCounter("c", c, "ops");
+    rec.start();
+    eq.run();
+    rec.finish();
+
+    Timeline tl;
+    tl.adopt(rec);
+    ASSERT_EQ(tl.windows(), 5u);
+    const auto &s = tl.series().at("c");
+    EXPECT_EQ(s.values,
+              (std::vector<double>{1.0, 2.0, 0.0, 0.0, 1.0}));
+}
+
+TEST(TimelineRecorderT, FinishClosesThePartialWindow)
+{
+    sim::EventQueue eq;
+    sim::Counter c;
+    eq.schedule(300, [&] { c.inc(); });
+
+    Recorder rec(eq, kW);
+    rec.addCounter("c", c, "ops");
+    rec.start();
+    eq.run();
+    rec.finish();
+    // Idempotent: a second finish must not close another window.
+    rec.finish();
+
+    Timeline tl;
+    tl.adopt(rec);
+    ASSERT_EQ(tl.windows(), 1u);
+    EXPECT_EQ(tl.at("c", 0), 1.0);
+}
+
+TEST(TimelineRecorderT, EmptyRunProducesNoWindows)
+{
+    sim::EventQueue eq;
+    sim::Counter c;
+    Recorder rec(eq, kW);
+    rec.addCounter("c", c, "ops");
+    rec.start();
+    eq.run();
+    rec.finish();
+    EXPECT_EQ(rec.windows(), 0u);
+}
+
+TEST(TimelineRecorderT, ReArmAfterDrainRecordsLaterWindows)
+{
+    // A drained queue disarms the sampler (it must never keep a
+    // finished LP alive); ensureArmed() — the LP wake hook — brings
+    // it back when new work shows up.
+    sim::EventQueue eq;
+    sim::Counter c;
+    eq.schedule(100, [&] { c.inc(); });
+
+    Recorder rec(eq, kW);
+    rec.addCounter("c", c, "ops");
+    rec.start();
+    eq.run();
+
+    eq.schedule(2500, [&] { c.inc(); });
+    rec.ensureArmed();
+    eq.run();
+    rec.finish();
+
+    Timeline tl;
+    tl.adopt(rec);
+    ASSERT_EQ(tl.windows(), 3u);
+    EXPECT_EQ(tl.at("c", 0), 1.0);
+    EXPECT_EQ(tl.at("c", 1), 0.0);
+    EXPECT_EQ(tl.at("c", 2), 1.0);
+}
+
+TEST(TimelineRecorderT, GaugeSampledAtEachBoundary)
+{
+    sim::EventQueue eq;
+    double v = 0.0;
+    for (sim::Tick t = 0; t < 4; ++t)
+        eq.schedule(t * kW + 100,
+                    [&v, t] { v = static_cast<double>(10 * (t + 1)); });
+
+    Recorder rec(eq, kW);
+    rec.addGauge("g", [&v] { return v; }, "units");
+    rec.start();
+    eq.run();
+    rec.finish();
+
+    Timeline tl;
+    tl.adopt(rec);
+    ASSERT_EQ(tl.windows(), 4u);
+    const auto &s = tl.series().at("g");
+    EXPECT_EQ(s.values,
+              (std::vector<double>{10.0, 20.0, 30.0, 40.0}));
+}
+
+TEST(TimelineRecorderT, QuantileWindowsWithNaNGaps)
+{
+    sim::EventQueue eq;
+    sim::QuantileSketch q;
+    // w0: tight latencies; w2: 10x worse; w1 has no samples at all.
+    eq.schedule(200, [&] {
+        q.add(100.0);
+        q.add(110.0);
+        q.add(120.0);
+    });
+    eq.schedule(2300, [&] {
+        q.add(1000.0);
+        q.add(1100.0);
+    });
+
+    Recorder rec(eq, kW);
+    rec.addSketch("lat", q, "Ns", "ns");
+    rec.start();
+    eq.run();
+    rec.finish();
+
+    Timeline tl;
+    tl.adopt(rec);
+    ASSERT_EQ(tl.windows(), 3u);
+    const auto &p99 = tl.series().at("latP99Ns");
+    ASSERT_EQ(p99.values.size(), 3u);
+    EXPECT_GT(p99.values[0], 100.0 * 0.9);
+    EXPECT_LT(p99.values[0], 130.0);
+    EXPECT_TRUE(std::isnan(p99.values[1]));
+    // The window-2 quantiles must reflect only window-2 samples —
+    // the sketch delta isolates them from the earlier fast ones.
+    EXPECT_GT(p99.values[2], 900.0);
+    const auto &p50 = tl.series().at("latP50Ns");
+    EXPECT_GT(p50.values[2], 900.0);
+}
+
+// ----------------------------------------------------- sketch delta
+
+TEST(QuantileSketchDeltaT, IsolatesNewSamples)
+{
+    sim::QuantileSketch q;
+    for (int i = 0; i < 100; ++i)
+        q.add(10.0);
+    sim::QuantileSketch snap = q;
+    for (int i = 0; i < 50; ++i)
+        q.add(1000.0);
+
+    sim::QuantileSketch d = q.delta(snap);
+    EXPECT_EQ(d.count(), 50u);
+    EXPECT_GT(d.quantile(0.50), 900.0);
+    EXPECT_GT(d.min(), 500.0);
+}
+
+TEST(QuantileSketchDeltaT, EmptyDeltaHasNoSamples)
+{
+    sim::QuantileSketch q;
+    q.add(5.0);
+    sim::QuantileSketch snap = q;
+    sim::QuantileSketch d = q.delta(snap);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+// --------------------------------------------------------- watchdog
+
+namespace {
+
+/** Run a gauge through @p perWindow values, one window each. */
+std::vector<sim::timeline::SloResult>
+runGaugeRule(const std::vector<double> &perWindow, SloRule rule)
+{
+    sim::EventQueue eq;
+    double v = 0.0;
+    for (std::size_t w = 0; w < perWindow.size(); ++w) {
+        double val = perWindow[w];
+        eq.schedule(static_cast<sim::Tick>(w) * kW + 100,
+                    [&v, val] { v = val; });
+    }
+    Recorder rec(eq, kW);
+    rec.addGauge("g", [&v] { return v; }, "units");
+    rule.metric = "g";
+    rec.addRule(rule);
+    rec.start();
+    eq.run();
+    rec.finish();
+    return rec.sloResults();
+}
+
+} // namespace
+
+TEST(TimelineSloT, TripAndWorstValue)
+{
+    SloRule rule;
+    rule.name = "tail";
+    rule.op = SloRule::Op::Gt;
+    rule.threshold = 10.0;
+    auto res = runGaugeRule({5, 20, 25, 5}, rule);
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_EQ(res[0].evaluated, 4u);
+    EXPECT_EQ(res[0].violations, 2u);
+    EXPECT_EQ(res[0].worstValue, 25.0);
+    EXPECT_EQ(res[0].firstViolationTick, 1 * kW);
+}
+
+TEST(TimelineSloT, NoTripBelowThreshold)
+{
+    SloRule rule;
+    rule.name = "tail";
+    rule.op = SloRule::Op::Gt;
+    rule.threshold = 100.0;
+    auto res = runGaugeRule({5, 20, 25, 5}, rule);
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_EQ(res[0].violations, 0u);
+    EXPECT_EQ(res[0].firstViolationTick, sim::maxTick);
+    // Worst value is tracked even when nothing trips — it is the
+    // baselined headroom signal.
+    EXPECT_EQ(res[0].worstValue, 25.0);
+}
+
+TEST(TimelineSloT, ForWindowsHysteresis)
+{
+    SloRule rule;
+    rule.name = "tail";
+    rule.op = SloRule::Op::Gt;
+    rule.threshold = 10.0;
+    rule.forWindows = 2;
+
+    // Alternating bad/good never sustains a 2-window streak.
+    auto flappy = runGaugeRule({20, 5, 20, 5, 20}, rule);
+    EXPECT_EQ(flappy[0].violations, 0u);
+
+    // Three consecutive bad windows: the streak reaches 2 on the
+    // second, so windows 2 and 3 count.
+    auto sustained = runGaugeRule({5, 20, 20, 20, 5}, rule);
+    EXPECT_EQ(sustained[0].violations, 2u);
+    EXPECT_EQ(sustained[0].firstViolationTick, 2 * kW);
+}
+
+TEST(TimelineSloT, LowerBoundOps)
+{
+    // Lt-style rule: throughput floor.
+    SloRule rule;
+    rule.name = "floor";
+    rule.op = SloRule::Op::Lt;
+    rule.threshold = 10.0;
+    auto res = runGaugeRule({15, 4, 15}, rule);
+    EXPECT_EQ(res[0].violations, 1u);
+    EXPECT_EQ(res[0].worstValue, 4.0); // worst = min for Lt
+}
+
+TEST(TimelineSloT, FromUntilRestrictsEvaluation)
+{
+    SloRule rule;
+    rule.name = "tail";
+    rule.op = SloRule::Op::Gt;
+    rule.threshold = 10.0;
+    rule.from = 2 * kW;
+    rule.until = 4 * kW;
+    // Bad everywhere, but only windows 2 and 3 are in range.
+    auto res = runGaugeRule({20, 20, 20, 20, 20}, rule);
+    EXPECT_EQ(res[0].evaluated, 2u);
+    EXPECT_EQ(res[0].violations, 2u);
+    EXPECT_EQ(res[0].firstViolationTick, 2 * kW);
+}
+
+TEST(TimelineSloT, StreakResetsAcrossRangeBoundary)
+{
+    // forWindows 2 with only the last bad window in range: the
+    // streak must not carry over from out-of-range windows.
+    SloRule rule;
+    rule.name = "tail";
+    rule.op = SloRule::Op::Gt;
+    rule.threshold = 10.0;
+    rule.forWindows = 2;
+    rule.from = 3 * kW;
+    auto res = runGaugeRule({20, 20, 20, 20}, rule);
+    EXPECT_EQ(res[0].evaluated, 1u);
+    EXPECT_EQ(res[0].violations, 0u);
+}
+
+// ---------------------------------------------------- merge / export
+
+TEST(TimelineMergeT, DeltaSeriesSumAcrossRecorders)
+{
+    sim::EventQueue eqA, eqB;
+    sim::Counter a, b;
+    eqA.schedule(100, [&] { a.inc(3); });
+    eqB.schedule(100, [&] { b.inc(4); });
+    eqB.schedule(1100, [&] { b.inc(1); });
+
+    Recorder ra(eqA, kW), rb(eqB, kW);
+    ra.addCounter("x.ops", a, "ops");
+    rb.addCounter("x.ops", b, "ops");
+    ra.start();
+    rb.start();
+    eqA.run();
+    eqB.run();
+    ra.finish();
+    rb.finish();
+
+    Timeline tl;
+    tl.adopt(ra);
+    tl.adopt(rb);
+    ASSERT_EQ(tl.windows(), 2u);
+    EXPECT_EQ(tl.at("x.ops", 0), 7.0); // 3 + 4, summed window-wise
+    EXPECT_EQ(tl.at("x.ops", 1), 1.0); // short series zero-padded
+}
+
+TEST(TimelineMergeT, PrefixNamespacesEverything)
+{
+    sim::EventQueue eq;
+    sim::Counter c;
+    eq.schedule(100, [&] { c.inc(); });
+    Recorder rec(eq, kW);
+    rec.addCounter("ops", c, "ops");
+    rec.noteFault("dramStall:x", 50, 500);
+    rec.start();
+    eq.run();
+    rec.finish();
+
+    Timeline tl;
+    tl.adopt(rec, "p0.");
+    EXPECT_TRUE(tl.series().count("p0.ops"));
+    EXPECT_FALSE(tl.series().count("ops"));
+    ASSERT_EQ(tl.faults().size(), 1u);
+    EXPECT_EQ(tl.faults()[0].label, "p0.dramStall:x");
+}
+
+TEST(TimelineMergeT, PaddingByKind)
+{
+    // Recorder A runs 3 windows; recorder B only 1. Past B's
+    // horizon: deltas read 0, gauges hold, quantiles are NaN.
+    sim::EventQueue eqA, eqB;
+    sim::Counter a, b;
+    sim::QuantileSketch q;
+    eqA.schedule(2100, [&] { a.inc(); });
+    eqB.schedule(100, [&] {
+        b.inc();
+        q.add(42.0);
+    });
+
+    Recorder ra(eqA, kW), rb(eqB, kW);
+    ra.addCounter("a", a, "ops");
+    rb.addCounter("b", b, "ops");
+    rb.addGauge("g", [] { return 7.0; }, "units");
+    rb.addSketch("q", q, "Ns", "ns");
+    ra.start();
+    rb.start();
+    eqA.run();
+    eqB.run();
+    ra.finish();
+    rb.finish();
+
+    Timeline tl;
+    tl.adopt(ra);
+    tl.adopt(rb);
+    ASSERT_EQ(tl.windows(), 3u);
+    EXPECT_EQ(tl.at("b", 2), 0.0);
+    EXPECT_EQ(tl.at("g", 2), 7.0);
+    EXPECT_TRUE(std::isnan(tl.at("qP99Ns", 2)));
+}
+
+TEST(TimelineOpsT, OpNamesRoundTrip)
+{
+    using Op = SloRule::Op;
+    for (Op op : {Op::Gt, Op::Lt, Op::Ge, Op::Le}) {
+        Op back;
+        ASSERT_TRUE(
+            sim::timeline::parseOp(sim::timeline::opName(op), back));
+        EXPECT_EQ(back, op);
+    }
+    SloRule::Op out;
+    EXPECT_FALSE(sim::timeline::parseOp("!=", out));
+    EXPECT_FALSE(sim::timeline::parseOp("", out));
+}

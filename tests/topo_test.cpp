@@ -303,7 +303,7 @@ TEST(TopoBuildT, InstanceRunsAllTraffic)
     ASSERT_EQ(inst.trafficCount(), 2u);
     for (std::size_t i = 0; i < inst.trafficCount(); ++i) {
         const auto &t = inst.traffic(i);
-        EXPECT_EQ(t.completed, t.target) << t.name;
+        EXPECT_EQ(t.completed.value(), t.target) << t.name;
         EXPECT_GT(t.latUs.mean(), 0.0) << t.name;
     }
     EXPECT_GT(inst.fabric().relayedMessages(), 0u);
@@ -391,12 +391,166 @@ TEST(TopoBuildT, InterferenceRaisesVictimTail)
 
     const auto &quiet = inst.traffic(0);
     const auto &contended = inst.traffic(2);
-    ASSERT_EQ(quiet.completed, quiet.target);
-    ASSERT_EQ(contended.completed, contended.target);
+    ASSERT_EQ(quiet.completed.value(), quiet.target);
+    ASSERT_EQ(contended.completed.value(), contended.target);
     // The aggressor's 32 KiB responses park in the shared egress
     // queue; the contended victim's tail must visibly suffer.
     EXPECT_GT(contended.latUs.quantile(0.99),
               2.0 * quiet.latUs.quantile(0.99));
+}
+
+// ------------------------------------------------- monitors stanza
+
+TEST(TopoMonitorsT, BadOpRejectedWithLocation)
+{
+    std::string err = expectError(R"({
+      "name": "m", "nodes": [{"name": "h0", "role": "host"}],
+      "monitors": [{"name": "r", "metric": "x.ops", "op": "!=",
+                    "threshold": 1}]
+    })");
+    EXPECT_NE(err.find("test.json:3"), std::string::npos) << err;
+    EXPECT_NE(err.find("op"), std::string::npos) << err;
+}
+
+TEST(TopoMonitorsT, MissingThresholdRejected)
+{
+    std::string err = expectError(R"({
+      "name": "m", "nodes": [{"name": "h0", "role": "host"}],
+      "monitors": [{"name": "r", "metric": "x.ops"}]
+    })");
+    EXPECT_NE(err.find("threshold"), std::string::npos) << err;
+}
+
+TEST(TopoMonitorsT, ZeroForWindowsRejected)
+{
+    std::string err = expectError(R"({
+      "name": "m", "nodes": [{"name": "h0", "role": "host"}],
+      "monitors": [{"name": "r", "metric": "x.ops",
+                    "threshold": 1, "forWindows": 0}]
+    })");
+    EXPECT_NE(err.find("forWindows"), std::string::npos) << err;
+}
+
+TEST(TopoMonitorsT, UntilBeforeFromRejected)
+{
+    std::string err = expectError(R"({
+      "name": "m", "nodes": [{"name": "h0", "role": "host"}],
+      "monitors": [{"name": "r", "metric": "x.ops", "threshold": 1,
+                    "fromUs": 100, "untilUs": 50}]
+    })");
+    EXPECT_NE(err.find("untilUs"), std::string::npos) << err;
+}
+
+TEST(TopoMonitorsT, DuplicateMonitorNameRejected)
+{
+    std::string err = expectError(R"({
+      "name": "m", "nodes": [{"name": "h0", "role": "host"}],
+      "monitors": [
+        {"name": "r", "metric": "x.ops", "threshold": 1},
+        {"name": "r", "metric": "y.ops", "threshold": 2}]
+    })");
+    EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+}
+
+TEST(TopoMonitorsT, UnknownMetricIsABuildErrorListingSeries)
+{
+    std::string text(kValid);
+    auto pos = text.rfind('}');
+    ASSERT_NE(pos, std::string::npos);
+    text.insert(pos,
+                R"(, "monitors": [{"name": "r",
+                    "metric": "nosuch.latP99Us", "threshold": 1}])");
+    Spec spec = topo::parseSpec(text, "mini.json");
+    try {
+        topo::Instance inst(spec, topo::BuildOptions{});
+        FAIL() << "expected SpecError for unknown monitor metric";
+    } catch (const SpecError &e) {
+        std::string what = e.what();
+        // file:line:col of the stanza, the typo, and what exists.
+        EXPECT_NE(what.find("mini.json:"), std::string::npos) << what;
+        EXPECT_NE(what.find("nosuch.latP99Us"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("ping.latP99Us"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(TopoMonitorsT, WatchdogTripsUnderContentionOnly)
+{
+    // The InterferenceRaisesVictimTail rig, with the interference
+    // signal promoted to declarative SLO rules: the quiet-phase rule
+    // must never trip, the contended-phase rule must.
+    const char *text = R"({
+      "name": "noisy_mon",
+      "nodes": [
+        {"name": "vc", "role": "host"}, {"name": "vs", "role": "host"},
+        {"name": "ac", "role": "host"}, {"name": "as", "role": "host"}
+      ],
+      "switches": [{"name": "edge", "radix": 3},
+                   {"name": "core", "radix": 3}],
+      "links": [
+        {"a": "vc", "b": "edge", "gbps": 100, "latencyNs": 500},
+        {"a": "ac", "b": "edge", "gbps": 100, "latencyNs": 500},
+        {"a": "edge", "b": "core", "gbps": 25, "latencyNs": 800},
+        {"a": "core", "b": "vs", "gbps": 100, "latencyNs": 500},
+        {"a": "core", "b": "as", "gbps": 100, "latencyNs": 500}
+      ],
+      "traffic": [
+        {"name": "quiet", "kind": "rpc", "src": "vc", "dst": "vs",
+         "requestBytes": 128, "responseBytes": 4096, "window": 2,
+         "ops": 60, "startUs": 0},
+        {"name": "aggr", "kind": "rpc", "src": "ac", "dst": "as",
+         "requestBytes": 256, "responseBytes": 32768, "window": 8,
+         "ops": 60, "startUs": 200},
+        {"name": "contended", "kind": "rpc", "src": "vc", "dst": "vs",
+         "requestBytes": 128, "responseBytes": 4096, "window": 2,
+         "ops": 60, "startUs": 200}
+      ],
+      "timelineUs": 25,
+      "monitors": [
+        {"name": "quiet_tail", "metric": "quiet.latP99Us",
+         "op": ">", "threshold": 30, "untilUs": 200},
+        {"name": "contended_tail", "metric": "contended.latP99Us",
+         "op": ">", "threshold": 30, "fromUs": 200}
+      ]
+    })";
+    Spec spec = topo::parseSpec(text, "noisy_mon.json");
+
+    auto runWith = [&spec](unsigned jobs) {
+        topo::BuildOptions opt;
+        opt.jobs = jobs;
+        topo::Instance inst(spec, opt);
+        EXPECT_TRUE(inst.timelineEnabled());
+        inst.run();
+        return std::make_pair(
+            std::vector<sim::timeline::SloResult>(inst.sloResults()),
+            inst.timeline().windows());
+    };
+
+    auto [slo, windows] = runWith(1);
+    EXPECT_GT(windows, 0u);
+    ASSERT_EQ(slo.size(), 2u);
+    const auto &contended =
+        slo[0].name == "contended_tail" ? slo[0] : slo[1];
+    const auto &quiet =
+        slo[0].name == "quiet_tail" ? slo[0] : slo[1];
+    EXPECT_EQ(quiet.violations, 0u);
+    EXPECT_GT(quiet.evaluated, 0u);
+    EXPECT_GE(contended.violations, 1u);
+    EXPECT_GT(contended.worstValue, 30.0);
+    EXPECT_NE(contended.firstViolationTick, sim::maxTick);
+
+    // Same watchdog verdicts for a partitioned run.
+    auto [slo2, windows2] = runWith(2);
+    EXPECT_EQ(windows, windows2);
+    ASSERT_EQ(slo2.size(), 2u);
+    for (std::size_t i = 0; i < slo.size(); ++i) {
+        EXPECT_EQ(slo[i].violations, slo2[i].violations);
+        EXPECT_EQ(slo[i].evaluated, slo2[i].evaluated);
+        EXPECT_EQ(slo[i].worstValue, slo2[i].worstValue);
+        EXPECT_EQ(slo[i].firstViolationTick,
+                  slo2[i].firstViolationTick);
+    }
 }
 
 #ifdef TF_TOPO_CONFIG_DIR
@@ -411,6 +565,33 @@ TEST(TopoConfigsT, CheckedInConfigsBuild)
         opt.smoke = true;
         topo::Instance inst(spec, opt);
         EXPECT_GT(inst.lpCount(), 0u) << f;
+    }
+}
+
+TEST(TopoConfigsT, NoisyNeighborMonitorsTripAsDesigned)
+{
+    // The checked-in config's monitors are part of its contract:
+    // quiet phase clean, contended phase tripping. CI additionally
+    // pins slo.vic_quiet_tail.violations at 0 in the baseline.
+    std::string path =
+        std::string(TF_TOPO_CONFIG_DIR) + "/noisy_neighbor.json";
+    Spec spec = topo::loadSpecFile(path);
+    ASSERT_EQ(spec.monitors.size(), 2u);
+    topo::BuildOptions opt;
+    opt.smoke = true;
+    topo::Instance inst(spec, opt);
+    ASSERT_TRUE(inst.timelineEnabled());
+    inst.run();
+
+    ASSERT_EQ(inst.sloResults().size(), 2u);
+    for (const auto &s : inst.sloResults()) {
+        if (s.name == "vic_quiet_tail") {
+            EXPECT_EQ(s.violations, 0u);
+            EXPECT_GT(s.evaluated, 0u);
+        } else {
+            EXPECT_EQ(s.name, "vic_contended_tail");
+            EXPECT_GE(s.violations, 1u);
+        }
     }
 }
 #endif

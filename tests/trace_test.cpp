@@ -434,6 +434,30 @@ TEST_F(FlightRecorderDeathTest, PanicDumpsLastSpans)
     removeFlightDumps();
 }
 
+TEST_F(FlightRecorderDeathTest, FatalDoesNotDumpFlight)
+{
+    // The asymmetry is deliberate (DESIGN.md §17): panic() marks an
+    // internal bug, so the last in-flight spans are evidence worth
+    // shipping; fatal() marks a user/configuration error, where a
+    // flight dump would bury the actionable message under an
+    // irrelevant wall of JSON. Pin both halves: exit code 1, no
+    // tf_flight_*.json left behind.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    removeFlightDumps();
+
+    EXPECT_EXIT(
+        {
+            build();
+            eq.trace().setFull(false);
+            pump(200);
+            sim::fatal("configuration rejected: %s", "bad knob");
+        },
+        ::testing::ExitedWithCode(1),
+        "configuration rejected: bad knob");
+
+    EXPECT_TRUE(flightDumps().empty());
+}
+
 // ------------------------------------------------------- TF_DEBUG
 
 TEST(TfDebugT, ArgumentsSkippedWhenFiltered)

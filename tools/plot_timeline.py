@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Render the `timeline` section of a tf-bench-v2 BENCH JSON.
+
+tf_bench --timeline-window (and any --topo run whose config declares
+monitors) emits per-window time series — counter deltas, gauges,
+quantile sketches — plus fault windows and SLO outcomes. This tool
+turns that section into something a human (or a CI artifact viewer)
+can read at a glance:
+
+    tools/plot_timeline.py BENCH_noisy_neighbor.json
+    tools/plot_timeline.py BENCH_fault_soak.json --series 'p0.*'
+    tools/plot_timeline.py BENCH_noisy_neighbor.json --svg out.svg
+
+ - default: one Unicode sparkline per series on stdout, faults marked
+   with '!' on an overlay row, then the SLO verdict table;
+ - --svg FILE: a self-contained SVG with one mini-chart per series,
+   fault windows shaded, no external assets;
+ - --list: series names only.
+
+Only the standard library is used; output is deterministic for a
+given input (series render in sorted-name order, the same order the
+JSON stores them in).
+"""
+
+import argparse
+import fnmatch
+import json
+import math
+import sys
+
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def load_timeline(path):
+    with open(path) as f:
+        doc = json.load(f)
+    tl = doc.get("timeline")
+    if tl is None:
+        sys.exit(f"{path}: no `timeline` section (schema "
+                 f"{doc.get('schema', '?')}; run tf_bench with "
+                 f"--timeline-window or a monitors-declaring --topo)")
+    return doc, tl
+
+
+def finite(values):
+    return [v for v in values if v is not None and not (
+        isinstance(v, float) and math.isnan(v))]
+
+
+def sparkline(values, lo, hi):
+    out = []
+    span = hi - lo
+    for v in values:
+        if v is None or (isinstance(v, float) and math.isnan(v)):
+            out.append("·")
+        elif span <= 0:
+            out.append(BLOCKS[0] if v <= lo else BLOCKS[-1])
+        else:
+            idx = int((v - lo) / span * (len(BLOCKS) - 1) + 0.5)
+            out.append(BLOCKS[max(0, min(len(BLOCKS) - 1, idx))])
+    return "".join(out)
+
+
+def fault_overlay(tl, windows):
+    """One char per window: '!' where any fault window overlaps."""
+    window_ns = tl["windowNs"]
+    marks = [" "] * windows
+    for f in tl.get("faults", []):
+        first = int(f["beginNs"] // window_ns)
+        last = int(f["endNs"] // window_ns)
+        for w in range(max(0, first), min(windows - 1, last) + 1):
+            marks[w] = "!"
+    return "".join(marks)
+
+
+def select_series(tl, patterns):
+    names = sorted(tl["series"])
+    if patterns:
+        names = [n for n in names
+                 if any(fnmatch.fnmatch(n, p) for p in patterns)]
+    return names
+
+
+def render_ascii(doc, tl, names, out):
+    window_us = tl["windowNs"] / 1000.0
+    windows = tl["windows"]
+    print(f"{doc.get('scenario', '?')}: {windows} windows x "
+          f"{window_us:g} us", file=out)
+
+    width = max((len(n) for n in names), default=0)
+    overlay = fault_overlay(tl, windows)
+    if overlay.strip():
+        print(f"{'faults'.rjust(width)}  {overlay}", file=out)
+    for name in names:
+        s = tl["series"][name]
+        vals = s["values"]
+        fin = finite(vals)
+        if not fin:
+            print(f"{name.rjust(width)}  {'·' * len(vals)}  (no data)",
+                  file=out)
+            continue
+        lo, hi = min(fin), max(fin)
+        unit = s.get("unit", "")
+        print(f"{name.rjust(width)}  {sparkline(vals, lo, hi)}  "
+              f"[{lo:g}, {hi:g}] {unit}", file=out)
+
+    slo = tl.get("slo", [])
+    if slo:
+        print(file=out)
+        print("SLO verdicts:", file=out)
+        for r in slo:
+            first = r.get("firstViolationNs")
+            when = (f" first at {first / 1000.0:g} us"
+                    if first is not None else "")
+            verdict = ("OK" if r["violations"] == 0
+                       else f"{r['violations']} violation(s)")
+            worst = r.get("worstValue")
+            worst = "n/a" if worst is None else f"{worst:g}"
+            print(f"  {r['name']}: {verdict} "
+                  f"({r['metric']}, worst {worst}, "
+                  f"{r['evaluated']} windows evaluated){when}",
+                  file=out)
+
+
+SVG_ROW = 48      # per-series chart height
+SVG_GAP = 14
+SVG_LABEL = 260   # left gutter for series names
+SVG_PLOT = 720
+
+
+def svg_escape(s):
+    return (s.replace("&", "&amp;").replace("<", "&lt;")
+             .replace(">", "&gt;"))
+
+
+def render_svg(doc, tl, names, path):
+    windows = max(1, tl["windows"])
+    window_ns = tl["windowNs"]
+    rows = []
+    height = (len(names) + 1) * (SVG_ROW + SVG_GAP)
+    width = SVG_LABEL + SVG_PLOT + 20
+    xstep = SVG_PLOT / windows
+
+    def x(w):
+        return SVG_LABEL + w * xstep
+
+    rows.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">')
+    title = (f"{doc.get('scenario', '?')} — {tl['windows']} windows x "
+             f"{window_ns / 1000.0:g} us")
+    rows.append(f'<text x="10" y="16">{svg_escape(title)}</text>')
+
+    for i, name in enumerate(names):
+        top = (i + 1) * (SVG_ROW + SVG_GAP)
+        s = tl["series"][name]
+        vals = s["values"]
+        fin = finite(vals)
+        lo, hi = (min(fin), max(fin)) if fin else (0.0, 0.0)
+        span = (hi - lo) or 1.0
+
+        # Fault windows shade every chart identically.
+        for f in tl.get("faults", []):
+            fx = SVG_LABEL + (f["beginNs"] / window_ns) * xstep
+            fw = max(1.0, (f["endNs"] - f["beginNs"]) / window_ns
+                     * xstep)
+            rows.append(
+                f'<rect x="{fx:.1f}" y="{top}" width="{fw:.1f}" '
+                f'height="{SVG_ROW}" fill="#d9534f" '
+                f'fill-opacity="0.15"/>')
+
+        rows.append(
+            f'<rect x="{SVG_LABEL}" y="{top}" width="{SVG_PLOT}" '
+            f'height="{SVG_ROW}" fill="none" stroke="#ccc"/>')
+        label = svg_escape(name)
+        rows.append(f'<text x="10" y="{top + SVG_ROW / 2 + 4}">'
+                    f'{label}</text>')
+
+        pts = []
+        for w, v in enumerate(vals):
+            if v is None or (isinstance(v, float) and math.isnan(v)):
+                if pts:
+                    rows.append(
+                        '<polyline fill="none" stroke="#337ab7" '
+                        f'points="{" ".join(pts)}"/>')
+                    pts = []
+                continue
+            py = top + SVG_ROW - (v - lo) / span * (SVG_ROW - 4) - 2
+            pts.append(f"{x(w) + xstep / 2:.1f},{py:.1f}")
+        if pts:
+            rows.append('<polyline fill="none" stroke="#337ab7" '
+                        f'points="{" ".join(pts)}"/>')
+        unit = s.get("unit", "")
+        rows.append(
+            f'<text x="{SVG_LABEL + SVG_PLOT + 4}" y="{top + 10}" '
+            f'font-size="9">{svg_escape(f"{hi:g} {unit}")}</text>')
+        rows.append(
+            f'<text x="{SVG_LABEL + SVG_PLOT + 4}" '
+            f'y="{top + SVG_ROW}" font-size="9">'
+            f'{svg_escape(f"{lo:g}")}</text>')
+
+    rows.append("</svg>")
+    with open(path, "w") as f:
+        f.write("\n".join(rows) + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="render the timeline section of a BENCH JSON")
+    ap.add_argument("bench", help="BENCH_<scenario>.json (tf-bench-v2)")
+    ap.add_argument("--series", action="append", default=[],
+                    metavar="GLOB",
+                    help="only series matching GLOB (repeatable)")
+    ap.add_argument("--svg", metavar="FILE",
+                    help="write an SVG chart instead of sparklines")
+    ap.add_argument("--list", action="store_true",
+                    help="list series names and exit")
+    args = ap.parse_args()
+
+    doc, tl = load_timeline(args.bench)
+    names = select_series(tl, args.series)
+    if args.list:
+        for n in names:
+            print(n)
+        return
+    if not names:
+        sys.exit("no series match")
+    if args.svg:
+        render_svg(doc, tl, names, args.svg)
+        print(f"{args.svg}: {len(names)} series")
+    else:
+        render_ascii(doc, tl, names, sys.stdout)
+
+
+if __name__ == "__main__":
+    main()
